@@ -1,0 +1,189 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation. Each iteration regenerates the artifact end to
+// end on the simulated substrate (measurement campaign + analysis),
+// so `go test -bench=.` doubles as a smoke test that every experiment
+// still runs and as a cost profile of the reproduction itself.
+//
+// To regenerate and *read* the artifacts, use `go run ./cmd/repro
+// -exp all` instead; benchmarks discard the rendered output.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/train"
+)
+
+// runExperiment executes one registered experiment per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the seed per iteration so repeated runs exercise fresh
+		// campaigns rather than replaying one.
+		res, err := runner.Run(42 + int64(i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if res.String() == "" {
+			b.Fatalf("%s rendered empty output", id)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I: training speed of the simplest
+// cluster for four models × three GPU types.
+func BenchmarkTableI(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure2 regenerates Fig. 2: speed vs. step count on K80.
+func BenchmarkFigure2(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFigure3 regenerates Fig. 3: step time vs. normalized
+// computation and model complexity for the twenty-model zoo.
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkTableII regenerates Table II: the eight step-time
+// prediction models with k-fold CV and grid search.
+func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTableIII regenerates Table III: per-worker step time
+// across homogeneous and heterogeneous clusters.
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure4 regenerates Fig. 4: cluster speed vs. P100 count.
+func BenchmarkFigure4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure5 regenerates Fig. 5: checkpoint time vs. size.
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkCheckpointSequential regenerates §IV-B's additivity check.
+func BenchmarkCheckpointSequential(b *testing.B) { runExperiment(b, "ckptseq") }
+
+// BenchmarkTableIV regenerates Table IV: checkpoint-time predictors.
+func BenchmarkTableIV(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFigure6 regenerates Fig. 6: startup-stage breakdown.
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Fig. 7: post-revocation startup times.
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTableV regenerates Table V: the twelve-day revocation
+// campaign.
+func BenchmarkTableV(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkFigure8 regenerates Fig. 8: lifetime CDFs per region/GPU.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates Fig. 9: revocations by hour of day.
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates Fig. 10: replacement overheads.
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFigure11 regenerates Fig. 11: recomputation overhead of
+// chief-IP reuse vs. CM-DARE takeover.
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFigure12 regenerates Fig. 12: bottleneck mitigation with a
+// second parameter server, plus the detector verdict.
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkEndToEnd regenerates §VI-A: the Eq. 4/5 training-time
+// prediction validated against full managed sessions.
+func BenchmarkEndToEnd(b *testing.B) { runExperiment(b, "endtoend") }
+
+// --- Ablations ------------------------------------------------------
+//
+// The benchmarks below vary the design knobs the reproduction's
+// results hinge on, reporting the resulting cluster speed as a custom
+// metric. They quantify the sensitivity of the headline shapes
+// (Fig. 4's plateau, Fig. 12's mitigation, §IV's overhead) to those
+// choices.
+
+// benchClusterSpeed runs one training configuration per iteration and
+// reports its steady speed.
+func benchClusterSpeed(b *testing.B, workers int, ps int, ckptInterval int64) {
+	b.Helper()
+	b.ReportAllocs()
+	var speed float64
+	for i := 0; i < b.N; i++ {
+		k := &sim.Kernel{}
+		c, err := train.NewCluster(k, train.Config{
+			Model:              model.ResNet32(),
+			Workers:            train.Homogeneous(model.P100, workers),
+			ParameterServers:   ps,
+			TargetSteps:        int64(600 * workers),
+			CheckpointInterval: ckptInterval,
+			DisableWarmup:      true,
+			Seed:               int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		k.Run()
+		speed = c.Result().SteadySpeed
+	}
+	b.ReportMetric(speed, "steps/s")
+}
+
+// BenchmarkAblationParameterServers sweeps the shard count for the
+// saturated 8×P100 ResNet-32 cluster: the knob behind Fig. 12.
+func BenchmarkAblationParameterServers(b *testing.B) {
+	for _, ps := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("ps=%d", ps), func(b *testing.B) {
+			benchClusterSpeed(b, 8, ps, 0)
+		})
+	}
+}
+
+// BenchmarkAblationClusterSize sweeps worker count at one shard: the
+// knob behind Fig. 4's plateau.
+func BenchmarkAblationClusterSize(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			benchClusterSpeed(b, n, 1, 0)
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointInterval sweeps Ic for a single-K80
+// session, the fault-tolerance/overhead trade-off of §IV: smaller
+// intervals bound revocation loss but depress effective speed.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	for _, ic := range []int64{500, 1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("ic=%d", ic), func(b *testing.B) {
+			b.ReportAllocs()
+			var overheadPct float64
+			for i := 0; i < b.N; i++ {
+				k := &sim.Kernel{}
+				c, err := train.NewCluster(k, train.Config{
+					Model:              model.ResNet32(),
+					Workers:            train.Homogeneous(model.K80, 1),
+					TargetSteps:        16000,
+					CheckpointInterval: ic,
+					DisableWarmup:      true,
+					Seed:               int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Start()
+				k.Run()
+				res := c.Result()
+				overheadPct = res.CheckpointSeconds / res.TotalSeconds * 100
+			}
+			b.ReportMetric(overheadPct, "ckpt-overhead-%")
+		})
+	}
+}

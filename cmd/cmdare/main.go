@@ -1,0 +1,209 @@
+// Command cmdare runs one managed transient training session on the
+// simulated cloud: it acquires parameter servers and transient GPU
+// workers, trains the chosen model to a target step count while
+// absorbing revocations per the replacement policy, and reports
+// training time, checkpoints, revocations, and cost — alongside the
+// CM-DARE Eq. 4/5 prediction for the same plan.
+//
+// Example:
+//
+//	cmdare -model ResNet-32 -gpu K80 -workers 4 -region us-central1 \
+//	       -steps 64000 -ckpt-interval 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		modelName = flag.String("model", "ResNet-32", "zoo model to train")
+		gpuName   = flag.String("gpu", "K80", "GPU type: K80, P100, or V100")
+		workers   = flag.Int("workers", 2, "number of transient GPU workers")
+		psCount   = flag.Int("ps", 1, "number of parameter servers")
+		regionStr = flag.String("region", "us-central1", "cloud region")
+		steps     = flag.Int64("steps", 64000, "training steps (Nw)")
+		ckptEvery = flag.Int64("ckpt-interval", 4000, "checkpoint interval in steps (Ic)")
+		policy    = flag.String("replace", "immediate", "replacement policy: immediate, delayed, none")
+		delay     = flag.Float64("replace-delay", 3600, "delay in seconds for -replace=delayed")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmdare: %v\n", err)
+		return 2
+	}
+	var gpu model.GPU
+	for _, g := range model.AllGPUs() {
+		if g.String() == *gpuName {
+			gpu = g
+		}
+	}
+	if gpu == 0 {
+		fmt.Fprintf(os.Stderr, "cmdare: unknown GPU %q\n", *gpuName)
+		return 2
+	}
+	region, err := cloud.ParseRegion(*regionStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmdare: %v\n", err)
+		return 2
+	}
+	var repl manager.ReplacementPolicy
+	switch *policy {
+	case "immediate":
+		repl = manager.ReplaceImmediate
+	case "delayed":
+		repl = manager.ReplaceDelayed
+	case "none":
+		repl = manager.ReplaceNone
+	default:
+		fmt.Fprintf(os.Stderr, "cmdare: unknown policy %q\n", *policy)
+		return 2
+	}
+
+	placements := make([]manager.Placement, *workers)
+	for i := range placements {
+		placements[i] = manager.Placement{GPU: gpu, Region: region, Tier: cloud.Transient}
+	}
+
+	k := &sim.Kernel{}
+	provider := cloud.NewProvider(k, stats.NewRng(*seed))
+	session, err := manager.NewSession(provider, manager.Config{
+		Model:              m,
+		Workers:            placements,
+		ParameterServers:   *psCount,
+		TargetSteps:        *steps,
+		CheckpointInterval: *ckptEvery,
+		Replacement:        repl,
+		DelaySeconds:       *delay,
+		Seed:               *seed + 1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmdare: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("training %s on %d × transient %v in %v (%d PS, Nw=%d, Ic=%d, replace=%v)\n",
+		m.Name, *workers, gpu, region, *psCount, *steps, *ckptEvery, repl)
+
+	// Run up to a week of virtual time; transient clusters that cannot
+	// finish by then deserve a loud failure, not a hang.
+	k.RunUntil(sim.Time(7 * 24 * 3600))
+	if !session.Done() {
+		fmt.Fprintf(os.Stderr, "cmdare: did not reach %d steps (at %d) within a week of virtual time\n",
+			*steps, session.Cluster().GlobalStep())
+		return 1
+	}
+	session.TerminateAll()
+
+	res := session.Cluster().Result()
+	fmt.Printf("\n-- measured --\n")
+	fmt.Printf("training time:     %.0f s (%.2f h)\n", session.TrainingSeconds(), session.TrainingSeconds()/3600)
+	fmt.Printf("steady speed:      %.2f steps/s\n", res.SteadySpeed)
+	fmt.Printf("checkpoints:       %d (%.0f s total)\n", res.CheckpointCount, res.CheckpointSeconds)
+	fmt.Printf("revocations:       %d (replacements requested: %d)\n", session.Revocations(), session.Replacements())
+	fmt.Printf("cost:              $%.2f\n", session.Cost())
+
+	// Side-by-side Eq. 4/5 prediction from the calibrated curves.
+	est, err := predict(m, gpu, region, *workers, *psCount, *steps, *ckptEvery, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmdare: prediction failed: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\n-- Eq. 4/5 prediction --\n")
+	fmt.Printf("cluster speed:     %.2f steps/s\n", est.ClusterSpeed)
+	fmt.Printf("compute term:      %.0f s\n", est.ComputeSeconds)
+	fmt.Printf("checkpoint term:   %.0f s\n", est.CheckpointSeconds)
+	fmt.Printf("revocation term:   %.0f s (Nr = %.3f)\n", est.RevocationSeconds, est.ExpectedRevocations)
+	fmt.Printf("total:             %.0f s\n", est.TotalSeconds)
+	fmt.Printf("predicted cost:    $%.2f\n", est.CostUSD)
+	errPct := (est.TotalSeconds - session.TrainingSeconds()) / session.TrainingSeconds() * 100
+	fmt.Printf("prediction error:  %+.2f%%\n", errPct)
+	return 0
+}
+
+// predict builds a quick Eq. 4/5 estimate from the calibrated curves
+// (bypassing a full measurement campaign; cmd/repro -exp endtoend
+// runs the full pipeline).
+func predict(m model.Model, gpu model.GPU, region cloud.Region, workers, ps int, steps, ic int64, seed int64) (core.Estimate, error) {
+	var speedObs []core.SpeedObservation
+	for _, zm := range model.Zoo() {
+		speedObs = append(speedObs, core.SpeedObservation{
+			GPU: gpu, GFLOPs: zm.GFLOPs, StepSeconds: model.StepTimeModel(gpu, zm),
+		})
+	}
+	speedModel, err := core.FitSpeedModel(speedObs, core.KindSVRRBF)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	var ckptObs []core.CheckpointObservation
+	rng := stats.NewRng(seed)
+	for _, zm := range model.Zoo() {
+		for i := 0; i < 5; i++ {
+			ckptObs = append(ckptObs, core.CheckpointObservation{
+				DataBytes:  zm.CkptDataBytes,
+				MetaBytes:  zm.CkptMetaBytes,
+				IndexBytes: zm.CkptIndexBytes,
+				Seconds:    rng.LogNormal(train.CheckpointSeconds(zm), 0.04),
+			})
+		}
+	}
+	ckptModel, err := core.FitCheckpointModel(ckptObs, core.FeatTotalSize, core.KindSVRRBF)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	// A quick lifetime campaign for the revocation CDF, staggered
+	// across the day so time-of-day hazard structure is sampled
+	// evenly.
+	k := &sim.Kernel{}
+	p := cloud.NewProvider(k, stats.NewRng(seed+7))
+	var lifetimes []float64
+	for i := 0; i < 200; i++ {
+		k.At(sim.Time(float64(i%24)*3600), func() {
+			p.MustLaunch(cloud.Request{Region: region, GPU: gpu, Tier: cloud.Transient})
+		})
+	}
+	k.Run()
+	for _, in := range p.Instances() {
+		lifetimes = append(lifetimes, in.LifetimeSeconds(k.Now())/3600)
+	}
+	rev := core.NewRevocationEstimator()
+	if err := rev.SetLifetimes(region.String(), gpu, lifetimes); err != nil {
+		return core.Estimate{}, err
+	}
+
+	predictor := &core.Predictor{
+		Speed:              speedModel,
+		Checkpoint:         ckptModel,
+		Revocation:         rev,
+		ProvisionSeconds:   70,
+		ReplacementSeconds: train.ReplacementSeconds(m, true),
+	}
+	placements := make([]core.Placement, workers)
+	for i := range placements {
+		placements[i] = core.Placement{GPU: gpu, Region: region.String(), Transient: true}
+	}
+	return predictor.Estimate(core.Plan{
+		Model:              m,
+		Workers:            placements,
+		ParameterServers:   ps,
+		TargetSteps:        steps,
+		CheckpointInterval: ic,
+	})
+}

@@ -1,0 +1,63 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp table1
+//	repro -exp all [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run, or 'all'")
+		seed = flag.Int64("seed", 42, "base random seed")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "repro: -exp <id>|all required (see -list)")
+		return 2
+	}
+
+	runners := experiments.All()
+	if *exp != "all" {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (see -list)\n", *exp)
+			return 2
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		result, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
+			return 1
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
+		fmt.Println(result.String())
+	}
+	return 0
+}

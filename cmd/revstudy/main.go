@@ -1,0 +1,99 @@
+// Command revstudy runs the paper's twelve-day revocation measurement
+// campaign (§V) on the simulated cloud and writes the raw records as
+// CSV — the analogue of the paper's published dataset.
+//
+// Example:
+//
+//	revstudy -out revocations.csv -startup startup.csv -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out        = flag.String("out", "revocations.csv", "revocation records CSV path")
+		startupOut = flag.String("startup", "", "optional startup-study CSV path")
+		days       = flag.Int("days", 12, "campaign days (paper: 12)")
+		seed       = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	k := &sim.Kernel{}
+	provider := cloud.NewProvider(k, stats.NewRng(*seed))
+	study, err := trace.RunRevocationStudy(k, provider, trace.PaperCampaign(), *days)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+		return 1
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+		return 1
+	}
+	if err := study.WriteRecordsCSV(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %d records to %s\n\n", len(study.Records), *out)
+
+	// Print the Table V summary.
+	fmt.Printf("%-14s %-6s %9s %8s %9s\n", "region", "GPU", "launched", "revoked", "fraction")
+	for _, c := range study.TableV() {
+		fmt.Printf("%-14s %-6s %9d %8d %8.2f%%\n",
+			c.Region, c.GPU, c.Launched, c.Revoked, 100*c.Fraction())
+	}
+	totals := study.Totals()
+	for _, g := range model.AllGPUs() {
+		t := totals[g]
+		fmt.Printf("total %-8s %9d %8d %8.2f%%\n", g, t.Launched, t.Revoked, 100*t.Fraction())
+	}
+
+	if *startupOut != "" {
+		k2 := &sim.Kernel{}
+		p2 := cloud.NewProvider(k2, stats.NewRng(*seed+1))
+		sums, err := trace.RunStartupStudy(k2, p2,
+			[]model.GPU{model.K80, model.P100},
+			[]cloud.Tier{cloud.Transient, cloud.OnDemand},
+			[]cloud.Region{cloud.USEast1, cloud.USWest1}, 30)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revstudy: startup study: %v\n", err)
+			return 1
+		}
+		sf, err := os.Create(*startupOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+			return 1
+		}
+		if err := trace.WriteStartupCSV(sf, sums); err != nil {
+			sf.Close()
+			fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+			return 1
+		}
+		if err := sf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "revstudy: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote startup study to %s\n", *startupOut)
+	}
+	return 0
+}

@@ -1,0 +1,159 @@
+// Cost planner: the configuration problem the paper's introduction
+// motivates — choosing server type, count, and tier for a training
+// workload while trading off time, cost, and revocation risk. This
+// example sweeps candidate clusters, estimates each with Eqs. 4–5
+// (compute + checkpoint + revocation recovery), and prints the
+// time/cost frontier.
+//
+//	go run ./examples/costplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+func main() {
+	const (
+		nw = 128000 // training steps
+		ic = 4000   // checkpoint interval
+	)
+	workload := model.ShakeShakeSmall()
+
+	predictor, err := buildPredictor(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type candidate struct {
+		label string
+		plan  core.Plan
+		est   core.Estimate
+	}
+	var candidates []candidate
+	for _, gpu := range model.AllGPUs() {
+		for _, n := range []int{1, 2, 4, 8} {
+			for _, transient := range []bool{true, false} {
+				region := cloud.USCentral1 // offers all three GPU types
+				workers := make([]core.Placement, n)
+				for i := range workers {
+					workers[i] = core.Placement{GPU: gpu, Region: region.String(), Transient: transient}
+				}
+				plan := core.Plan{
+					Model:              workload,
+					Workers:            workers,
+					TargetSteps:        nw,
+					CheckpointInterval: ic,
+				}
+				est, err := predictor.Estimate(plan)
+				if err != nil {
+					log.Fatal(err)
+				}
+				tier := "on-demand"
+				if transient {
+					tier = "transient"
+				}
+				candidates = append(candidates, candidate{
+					label: fmt.Sprintf("%d × %s %s", n, gpu, tier),
+					plan:  plan,
+					est:   est,
+				})
+			}
+		}
+	}
+
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].est.CostUSD < candidates[j].est.CostUSD
+	})
+	fmt.Printf("== cost planner: %s, Nw=%d, Ic=%d (us-central1) ==\n\n", workload.Name, nw, ic)
+	fmt.Printf("%-24s %10s %10s %8s %8s\n", "cluster", "time (h)", "cost ($)", "Nr", "$/1k steps")
+	for _, c := range candidates {
+		fmt.Printf("%-24s %10.2f %10.2f %8.2f %10.3f\n",
+			c.label, c.est.TotalSeconds/3600, c.est.CostUSD,
+			c.est.ExpectedRevocations, c.est.CostUSD/(nw/1000))
+	}
+
+	// Cheapest plan that makes a 12-hour deadline.
+	const deadlineHours = 12.0
+	for _, c := range candidates {
+		if c.est.TotalSeconds/3600 <= deadlineHours {
+			fmt.Printf("\ncheapest plan under %.0f h: %s — %.2f h, $%.2f (≈%.2f expected revocations)\n",
+				deadlineHours, c.label, c.est.TotalSeconds/3600, c.est.CostUSD, c.est.ExpectedRevocations)
+			return
+		}
+	}
+	fmt.Printf("\nno candidate meets the %.0f h deadline\n", deadlineHours)
+}
+
+// buildPredictor assembles Eq. 4/5 inputs: per-GPU speed models, a
+// checkpoint model, and revocation CDFs measured from the simulated
+// cloud.
+func buildPredictor(workload model.Model) (*core.Predictor, error) {
+	var speedObs []core.SpeedObservation
+	for _, g := range model.AllGPUs() {
+		for _, m := range model.Zoo() {
+			speedObs = append(speedObs, core.SpeedObservation{
+				GPU: g, GFLOPs: m.GFLOPs, StepSeconds: model.StepTimeModel(g, m),
+			})
+		}
+	}
+	speed, err := core.FitSpeedModel(speedObs, core.KindSVRRBF)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := stats.NewRng(3)
+	var ckptObs []core.CheckpointObservation
+	for _, m := range model.Zoo() {
+		for i := 0; i < 5; i++ {
+			ckptObs = append(ckptObs, core.CheckpointObservation{
+				DataBytes:  m.CkptDataBytes,
+				MetaBytes:  m.CkptMetaBytes,
+				IndexBytes: m.CkptIndexBytes,
+				Seconds:    rng.LogNormal(train.CheckpointSeconds(m), 0.04),
+			})
+		}
+	}
+	ckpt, err := core.FitCheckpointModel(ckptObs, core.FeatTotalSize, core.KindSVRRBF)
+	if err != nil {
+		return nil, err
+	}
+
+	rev := core.NewRevocationEstimator()
+	for _, g := range model.AllGPUs() {
+		k := &sim.Kernel{}
+		p := cloud.NewProvider(k, stats.NewRng(int64(g)*11))
+		for i := 0; i < 300; i++ {
+			g := g
+			// Stagger launches across the day so time-of-day hazard
+			// structure (Fig. 9) is sampled evenly.
+			k.At(sim.Time(float64(i%24)*3600), func() {
+				p.MustLaunch(cloud.Request{Region: cloud.USCentral1, GPU: g, Tier: cloud.Transient})
+			})
+		}
+		k.Run()
+		var lifetimes []float64
+		for _, in := range p.Instances() {
+			lifetimes = append(lifetimes, in.LifetimeSeconds(k.Now())/3600)
+		}
+		if err := rev.SetLifetimes(cloud.USCentral1.String(), g, lifetimes); err != nil {
+			return nil, err
+		}
+	}
+
+	return &core.Predictor{
+		Speed:              speed,
+		Checkpoint:         ckpt,
+		Revocation:         rev,
+		ProvisionSeconds:   70,
+		ReplacementSeconds: train.ReplacementSeconds(workload, true),
+	}, nil
+}

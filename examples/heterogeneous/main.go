@@ -1,0 +1,100 @@
+// Heterogeneous clusters: the paper's §VI-A use case. Cluster speed
+// is the sum of individual worker speeds, so per-GPU models compose
+// into predictions for clusters mixing K80, P100, and V100 workers —
+// this example fits per-GPU speed models from measurements, predicts
+// several mixed clusters, and validates each against the simulator.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/train"
+)
+
+func main() {
+	// Fit per-GPU speed models from "measured" step times across the
+	// zoo (the measurement step the paper's offline phase performs).
+	var obs []core.SpeedObservation
+	for _, g := range model.AllGPUs() {
+		for _, m := range model.Zoo() {
+			mean, err := measureStepTime(g, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obs = append(obs, core.SpeedObservation{GPU: g, GFLOPs: m.GFLOPs, StepSeconds: mean})
+		}
+	}
+	speed, err := core.FitSpeedModel(obs, core.KindSVRRBF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resnet32 := model.ResNet32()
+	fmt.Println("== heterogeneous cluster speed: predicted (Σ workers) vs simulated ==")
+	fmt.Printf("%-22s %10s %10s %8s\n", "cluster (K80,P100,V100)", "predicted", "simulated", "error")
+	for _, mix := range [][3]int{{2, 1, 1}, {4, 0, 0}, {1, 2, 0}, {0, 2, 2}, {3, 2, 1}} {
+		workers := train.Mixed(mix[0], mix[1], mix[2])
+		gpus := make([]model.GPU, len(workers))
+		for i, w := range workers {
+			gpus[i] = w.GPU
+		}
+		predicted, err := speed.ClusterSpeed(gpus, resnet32.GFLOPs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simulated, err := simulateClusterSpeed(resnet32, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := (predicted - simulated) / simulated * 100
+		fmt.Printf("(%d,%d,%d)%15s %7.2f/s %7.2f/s %+7.2f%%\n",
+			mix[0], mix[1], mix[2], "", predicted, simulated, errPct)
+	}
+	fmt.Println("\nper-worker speeds stay at baseline in mixed clusters (Table III),")
+	fmt.Println("so sp = Σ spᵢ composes — until the parameter server saturates.")
+}
+
+// measureStepTime runs the paper's single-worker measurement.
+func measureStepTime(g model.GPU, m model.Model) (float64, error) {
+	k := &sim.Kernel{}
+	c, err := train.NewCluster(k, train.Config{
+		Model:       m,
+		Workers:     train.Homogeneous(g, 1),
+		TargetSteps: 1200,
+		Seed:        int64(g)*100 + int64(m.GFLOPs*10),
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Start()
+	k.Run()
+	ws, err := c.Result().WorkerStatByGPU(g)
+	if err != nil {
+		return 0, err
+	}
+	return ws.MeanStepTime, nil
+}
+
+// simulateClusterSpeed measures the steady cluster speed of a mixed
+// cluster.
+func simulateClusterSpeed(m model.Model, workers []train.WorkerSpec) (float64, error) {
+	k := &sim.Kernel{}
+	c, err := train.NewCluster(k, train.Config{
+		Model:       m,
+		Workers:     workers,
+		TargetSteps: 4000,
+		Seed:        7,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Start()
+	k.Run()
+	return c.Result().SteadySpeed, nil
+}

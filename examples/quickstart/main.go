@@ -1,0 +1,65 @@
+// Quickstart: train ResNet-32 on a transient GPU cluster in the
+// simulated cloud, then compare the measured training time against
+// CM-DARE's Eq. 4/5 prediction.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cloud"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A simulation kernel and a cloud provider on top of it.
+	k := &sim.Kernel{}
+	provider := cloud.NewProvider(k, stats.NewRng(42))
+
+	// Four transient K80 workers in us-central1, one on-demand
+	// parameter server; checkpoint every 4000 steps; replace revoked
+	// workers immediately.
+	resnet32 := model.ResNet32()
+	session, err := manager.NewSession(provider, manager.Config{
+		Model: resnet32,
+		Workers: []manager.Placement{
+			{GPU: model.K80, Region: cloud.USCentral1, Tier: cloud.Transient},
+			{GPU: model.K80, Region: cloud.USCentral1, Tier: cloud.Transient},
+			{GPU: model.K80, Region: cloud.USCentral1, Tier: cloud.Transient},
+			{GPU: model.K80, Region: cloud.USCentral1, Tier: cloud.Transient},
+		},
+		TargetSteps:        64000,
+		CheckpointInterval: 4000,
+		Replacement:        manager.ReplaceImmediate,
+		Seed:               1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the virtual clock until training completes (bounded at 24 h
+	// of virtual time).
+	k.RunUntil(sim.Time(24 * 3600))
+	if !session.Done() {
+		log.Fatalf("training incomplete at step %d", session.Cluster().GlobalStep())
+	}
+	session.TerminateAll()
+
+	res := session.Cluster().Result()
+	fmt.Println("== quickstart: 64K steps of ResNet-32 on 4 × transient K80 ==")
+	fmt.Printf("training time:   %.0f s (%.2f h)\n", session.TrainingSeconds(), session.TrainingSeconds()/3600)
+	fmt.Printf("steady speed:    %.2f steps/s (1 worker would do %.2f)\n",
+		res.SteadySpeed, model.StepsPerSecond(model.K80, resnet32))
+	fmt.Printf("checkpoints:     %d (%.0f s of fault-tolerance overhead)\n",
+		res.CheckpointCount, res.CheckpointSeconds)
+	fmt.Printf("revocations:     %d absorbed, %d replacements requested\n",
+		session.Revocations(), session.Replacements())
+	fmt.Printf("total cost:      $%.2f (on-demand would cost ≈$%.2f for the GPUs alone)\n",
+		session.Cost(),
+		4*model.HourlyPrice(model.K80, false)*session.TrainingSeconds()/3600)
+}

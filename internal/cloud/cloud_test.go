@@ -1,0 +1,427 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newTestProvider(seed int64) (*sim.Kernel, *Provider) {
+	k := &sim.Kernel{}
+	return k, NewProvider(k, stats.NewRng(seed))
+}
+
+func TestRegionNames(t *testing.T) {
+	if len(AllRegions()) != 6 {
+		t.Fatal("paper measures six regions")
+	}
+	for _, r := range AllRegions() {
+		parsed, err := ParseRegion(r.String())
+		if err != nil || parsed != r {
+			t.Errorf("ParseRegion(%q) = %v, %v", r.String(), parsed, err)
+		}
+	}
+	if _, err := ParseRegion("mars-north1"); err == nil {
+		t.Fatal("unknown region should not parse")
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	// Simulation starts at 00:00 UTC; us-east1 is UTC-5.
+	if got := USEast1.LocalHour(0); got != 19 {
+		t.Fatalf("us-east1 local hour at t=0 is %d, want 19", got)
+	}
+	if got := AsiaEast1.LocalHour(0); got != 8 {
+		t.Fatalf("asia-east1 local hour at t=0 is %d, want 8", got)
+	}
+	if got := EuropeWest1.LocalHour(23); got != 0 {
+		t.Fatalf("europe-west1 local hour at t=23h is %d, want 0", got)
+	}
+}
+
+func TestOfferedMatchesTableV(t *testing.T) {
+	// Table V's N/A cells.
+	type cell struct {
+		r    Region
+		g    model.GPU
+		want bool
+	}
+	cells := []cell{
+		{USEast1, model.K80, true},
+		{USEast1, model.V100, false},
+		{EuropeWest1, model.V100, false},
+		{EuropeWest4, model.V100, true},
+		{EuropeWest4, model.K80, false},
+		{AsiaEast1, model.V100, true},
+		{AsiaEast1, model.P100, false},
+		{USCentral1, model.V100, true},
+	}
+	for _, c := range cells {
+		if got := Offered(c.r, c.g); got != c.want {
+			t.Errorf("Offered(%v, %v) = %v, want %v", c.r, c.g, got, c.want)
+		}
+	}
+	if got := len(OfferedRegions(model.K80)); got != 4 {
+		t.Errorf("K80 offered in %d regions, want 4", got)
+	}
+	if got := len(OfferedRegions(model.V100)); got != 4 {
+		t.Errorf("V100 offered in %d regions, want 4", got)
+	}
+}
+
+func TestLaunchLifecycle(t *testing.T) {
+	k, p := newTestProvider(1)
+	var runningAt sim.Time
+	in, err := p.Launch(Request{
+		Region: USEast1,
+		GPU:    model.K80,
+		Tier:   OnDemand,
+		OnRunning: func(in *Instance) {
+			runningAt = k.Now()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != Provisioning {
+		t.Fatalf("state after launch = %v, want provisioning", in.State())
+	}
+	k.Run()
+	if in.State() != Running {
+		t.Fatalf("state after run = %v, want running", in.State())
+	}
+	b := in.Startup()
+	if b.Provisioning <= 0 || b.Staging <= 0 || b.Booting <= 0 {
+		t.Fatalf("startup stages not all positive: %+v", b)
+	}
+	if got := float64(runningAt); math.Abs(got-b.Total()) > 1e-9 {
+		t.Fatalf("running at %v, want startup total %v", got, b.Total())
+	}
+	// On-demand servers never end on their own.
+	if in.WasRevoked() {
+		t.Fatal("on-demand server cannot be revoked")
+	}
+}
+
+func TestLaunchRejectsUnofferedPlacement(t *testing.T) {
+	_, p := newTestProvider(2)
+	if _, err := p.Launch(Request{Region: USEast1, GPU: model.V100, Tier: Transient}); err == nil {
+		t.Fatal("V100 in us-east1 is N/A in Table V and must be rejected")
+	}
+	if _, err := p.Launch(Request{Region: Region(77), GPU: model.K80, Tier: Transient}); err == nil {
+		t.Fatal("invalid region must be rejected")
+	}
+}
+
+func TestCPUServerLaunchesAnywhere(t *testing.T) {
+	k, p := newTestProvider(3)
+	in, err := p.Launch(Request{Region: EuropeWest4, Tier: OnDemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if in.State() != Running {
+		t.Fatalf("CPU server state = %v", in.State())
+	}
+	if in.HourlyPrice() != model.ParameterServerHourly {
+		t.Fatalf("CPU server price = %v", in.HourlyPrice())
+	}
+}
+
+func TestTransientLifetimeCap(t *testing.T) {
+	// With seed sweep, every transient server must end by 24h + startup.
+	k, p := newTestProvider(4)
+	var ins []*Instance
+	for i := 0; i < 60; i++ {
+		in := p.MustLaunch(Request{Region: USWest1, GPU: model.K80, Tier: Transient})
+		ins = append(ins, in)
+	}
+	k.Run()
+	for _, in := range ins {
+		if !in.State().Done() {
+			t.Fatalf("transient instance still %v after drain", in.State())
+		}
+		life := in.LifetimeSeconds(k.Now())
+		if life > MaxTransientLifetimeSeconds+1 {
+			t.Fatalf("lifetime %v exceeds 24h cap", life)
+		}
+		if in.WasRevoked() && life >= MaxTransientLifetimeSeconds {
+			t.Fatal("revocation recorded at or past the cap")
+		}
+	}
+}
+
+func TestRevocationFractionTracksTableV(t *testing.T) {
+	// Large-sample check that the us-west1 K80 cell lands near its
+	// calibrated 22.92% and europe-west1 K80 near 66.67%.
+	cases := []struct {
+		region Region
+		want   float64
+	}{
+		{USWest1, 0.2292},
+		{EuropeWest1, 0.6667},
+	}
+	for _, tc := range cases {
+		k, p := newTestProvider(5)
+		const n = 2000
+		for i := 0; i < n; i++ {
+			p.MustLaunch(Request{Region: tc.region, GPU: model.K80, Tier: Transient})
+		}
+		k.Run()
+		revoked := 0
+		for _, in := range p.Instances() {
+			if in.WasRevoked() {
+				revoked++
+			}
+		}
+		got := float64(revoked) / n
+		if math.Abs(got-tc.want) > 0.035 {
+			t.Errorf("%v K80 revocation fraction = %.3f, want ≈%.3f", tc.region, got, tc.want)
+		}
+	}
+}
+
+func TestEarlyDeathShapeDiffersByRegion(t *testing.T) {
+	// Fig. 8a: europe-west1 K80 loses >50% of revoked servers in the
+	// first two hours; us-west1 K80 loses <5%.
+	frac2h := func(region Region) float64 {
+		k, p := newTestProvider(6)
+		const n = 3000
+		for i := 0; i < n; i++ {
+			p.MustLaunch(Request{Region: region, GPU: model.K80, Tier: Transient})
+		}
+		k.Run()
+		revoked, early := 0, 0
+		for _, in := range p.Instances() {
+			if !in.WasRevoked() {
+				continue
+			}
+			revoked++
+			if in.LifetimeSeconds(k.Now()) <= 2*3600 {
+				early++
+			}
+		}
+		if revoked == 0 {
+			t.Fatalf("no revocations in %v", region)
+		}
+		return float64(early) / float64(revoked)
+	}
+	if got := frac2h(EuropeWest1); got < 0.40 {
+		t.Errorf("europe-west1 K80 early-death fraction = %.2f, want > 0.40", got)
+	}
+	if got := frac2h(USWest1); got > 0.12 {
+		t.Errorf("us-west1 K80 early-death fraction = %.2f, want < 0.12", got)
+	}
+}
+
+func TestV100QuietHours(t *testing.T) {
+	// Fig. 9c: no V100 revocations between 16:00 and 20:00 local.
+	k, p := newTestProvider(7)
+	const n = 1500
+	for i := 0; i < n; i++ {
+		// Spread launches across the day so the quiet window is
+		// genuinely exercised.
+		launchAt := sim.Time(float64(i%24) * 3600)
+		k.At(launchAt, func() {
+			p.MustLaunch(Request{Region: USCentral1, GPU: model.V100, Tier: Transient})
+		})
+	}
+	k.Run()
+	quiet := 0
+	total := 0
+	for _, in := range p.Instances() {
+		if !in.WasRevoked() {
+			continue
+		}
+		total++
+		h := in.Region.LocalHour(in.EndedAt.Hours())
+		if h >= 16 && h < 20 {
+			quiet++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few revocations (%d) to assess quiet hours", total)
+	}
+	// The acceptance-rejection sampler allows a tiny leakage after the
+	// retry cap; require well under 2%.
+	if frac := float64(quiet) / float64(total); frac > 0.02 {
+		t.Errorf("V100 quiet-hour revocation fraction = %.3f, want ≈0", frac)
+	}
+}
+
+func TestWorkloadDoesNotAffectRevocation(t *testing.T) {
+	// Table V: idle and stressed servers revoke at similar rates.
+	k, p := newTestProvider(8)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p.MustLaunch(Request{Region: USCentral1, GPU: model.P100, Tier: Transient, Stressed: i%2 == 0})
+	}
+	k.Run()
+	var idleRev, stressRev, idleN, stressN int
+	for _, in := range p.Instances() {
+		if in.Stressed {
+			stressN++
+			if in.WasRevoked() {
+				stressRev++
+			}
+		} else {
+			idleN++
+			if in.WasRevoked() {
+				idleRev++
+			}
+		}
+	}
+	idleRate := float64(idleRev) / float64(idleN)
+	stressRate := float64(stressRev) / float64(stressN)
+	if math.Abs(idleRate-stressRate) > 0.05 {
+		t.Errorf("idle rate %.3f vs stressed rate %.3f differ beyond noise", idleRate, stressRate)
+	}
+}
+
+func TestStartupTransientVsOnDemand(t *testing.T) {
+	// Fig. 6: transient K80 ≈ 11 s slower than on-demand; transient
+	// P100 ≈ 21 s slower; transient P100 slower than transient K80.
+	meanTotal := func(g model.GPU, tier Tier) float64 {
+		k, p := newTestProvider(9)
+		const n = 400
+		ins := make([]*Instance, 0, n)
+		for i := 0; i < n; i++ {
+			ins = append(ins, p.MustLaunch(Request{Region: USEast1, GPU: g, Tier: tier}))
+		}
+		k.RunUntil(sim.Time(300))
+		var acc stats.Accumulator
+		for _, in := range ins {
+			acc.Add(in.Startup().Total())
+		}
+		return acc.Mean()
+	}
+	k80T, k80O := meanTotal(model.K80, Transient), meanTotal(model.K80, OnDemand)
+	p100T, p100O := meanTotal(model.P100, Transient), meanTotal(model.P100, OnDemand)
+	if d := k80T - k80O; d < 5 || d > 18 {
+		t.Errorf("K80 transient-on-demand startup delta = %.1f s, want ≈11", d)
+	}
+	if d := p100T - p100O; d < 14 || d > 28 {
+		t.Errorf("P100 transient-on-demand startup delta = %.1f s, want ≈21", d)
+	}
+	slowdown := (p100T - k80T) / k80T
+	if slowdown < 0.03 || slowdown > 0.16 {
+		t.Errorf("transient P100 vs K80 slowdown = %.3f, want ≈0.087", slowdown)
+	}
+	if k80T > 100 || p100T > 100 {
+		t.Errorf("transient startup should stay under 100 s (got %.1f, %.1f)", k80T, p100T)
+	}
+}
+
+func TestChurnRaisesStartupVariance(t *testing.T) {
+	// Fig. 7: requests immediately after a revocation see ~4× the
+	// coefficient of variation but a similar mean (within ≈4 s).
+	draw := func(churning bool) (mean, cov float64) {
+		rng := stats.NewRng(10)
+		var acc stats.Accumulator
+		for i := 0; i < 4000; i++ {
+			acc.Add(sampleStartup(rng, model.K80, Transient, USEast1, churning).Total())
+		}
+		return acc.Mean(), acc.CoV()
+	}
+	immMean, immCoV := draw(true)
+	delMean, delCoV := draw(false)
+	if math.Abs(immMean-delMean) > 4 {
+		t.Errorf("immediate mean %.1f vs delayed mean %.1f differ beyond Fig. 7's ≈4 s", immMean, delMean)
+	}
+	if immCoV < 2.5*delCoV {
+		t.Errorf("immediate CoV %.3f should be ≈4× delayed CoV %.3f", immCoV, delCoV)
+	}
+	// Churn does not apply to on-demand requests.
+	odChurn, odCoV := draw(false)
+	_ = odChurn
+	rng := stats.NewRng(11)
+	var acc stats.Accumulator
+	for i := 0; i < 4000; i++ {
+		acc.Add(sampleStartup(rng, model.K80, OnDemand, USEast1, true).Total())
+	}
+	if acc.CoV() > 1.5*odCoV {
+		t.Errorf("on-demand CoV %.3f should be unaffected by churn", acc.CoV())
+	}
+}
+
+func TestProviderTracksChurnWindow(t *testing.T) {
+	k, p := newTestProvider(13)
+	if p.churning(EuropeWest1) {
+		t.Fatal("fresh provider should not report churn")
+	}
+	in := p.MustLaunch(Request{Region: EuropeWest1, GPU: model.K80, Tier: Transient})
+	k.RunUntil(sim.Time(120)) // running
+	if in.State() != Running {
+		t.Fatalf("state = %v, want running", in.State())
+	}
+	p.revoke(in)
+	if !p.churning(EuropeWest1) {
+		t.Fatal("churn window should open right after a revocation")
+	}
+	if p.churning(USWest1) {
+		t.Fatal("churn is tracked per region")
+	}
+	k.RunUntil(k.Now() + sim.Time(churnWindowSeconds) + 1)
+	if p.churning(EuropeWest1) {
+		t.Fatal("churn window should close after an hour")
+	}
+}
+
+func TestTerminateCancelsRevocation(t *testing.T) {
+	k, p := newTestProvider(11)
+	in := p.MustLaunch(Request{Region: EuropeWest1, GPU: model.K80, Tier: Transient})
+	k.RunUntil(sim.Time(200)) // running by now
+	if in.State() != Running {
+		t.Fatalf("state = %v, want running", in.State())
+	}
+	p.Terminate(in)
+	if in.State() != Terminated {
+		t.Fatalf("state after terminate = %v", in.State())
+	}
+	k.Run()
+	if in.WasRevoked() {
+		t.Fatal("terminated instance was later revoked")
+	}
+	// Idempotent.
+	p.Terminate(in)
+	if in.State() != Terminated {
+		t.Fatal("double terminate changed state")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	k, p := newTestProvider(12)
+	in := p.MustLaunch(Request{Region: USEast1, GPU: model.K80, Tier: Transient})
+	k.RunUntil(sim.Time(3600))
+	wantHourly := model.HourlyPrice(model.K80, true)
+	got := in.Cost(k.Now())
+	if math.Abs(got-wantHourly) > 1e-9 {
+		t.Fatalf("cost after one hour = %v, want %v", got, wantHourly)
+	}
+	if p.TotalCost() != got {
+		t.Fatalf("TotalCost = %v, want %v", p.TotalCost(), got)
+	}
+	if in.Cost(in.RequestedAt) != 0 {
+		t.Fatal("cost at request time should be zero")
+	}
+}
+
+func TestInstanceStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Requested: "requested", Provisioning: "provisioning", Staging: "staging",
+		Running: "running", Revoked: "revoked", Terminated: "terminated",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if !Revoked.Done() || !Terminated.Done() || Running.Done() {
+		t.Error("Done() misclassifies states")
+	}
+	if OnDemand.String() != "on-demand" || Transient.String() != "transient" {
+		t.Error("Tier stringer broken")
+	}
+}

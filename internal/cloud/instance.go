@@ -1,0 +1,158 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Tier distinguishes revocable transient (preemptible) servers from
+// their stable on-demand counterparts.
+type Tier int
+
+const (
+	// OnDemand servers run until the customer terminates them.
+	OnDemand Tier = iota + 1
+	// Transient servers cost a fraction of on-demand but can be
+	// revoked at any time and live at most 24 hours.
+	Transient
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case OnDemand:
+		return "on-demand"
+	case Transient:
+		return "transient"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// State is an instance lifecycle state. The provisioning → staging →
+// running progression mirrors the GCE instance life cycle the paper
+// instruments (§V-A).
+type State int
+
+const (
+	// Requested: accepted by the provider, not yet provisioning.
+	Requested State = iota + 1
+	// Provisioning: resources are being allocated.
+	Provisioning
+	// Staging: resources acquired, instance being prepared to boot.
+	Staging
+	// Running: booted and available to the training cluster.
+	Running
+	// Revoked: preempted by the provider (transient only).
+	Revoked
+	// Terminated: stopped by the customer or by the 24 h lifetime cap.
+	Terminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Requested:
+		return "requested"
+	case Provisioning:
+		return "provisioning"
+	case Staging:
+		return "staging"
+	case Running:
+		return "running"
+	case Revoked:
+		return "revoked"
+	case Terminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Done reports whether the state is terminal.
+func (s State) Done() bool { return s == Revoked || s == Terminated }
+
+// StartupBreakdown records the duration of each startup stage, the
+// quantity Fig. 6 breaks down.
+type StartupBreakdown struct {
+	Provisioning float64 // seconds
+	Staging      float64
+	Booting      float64
+}
+
+// Total returns the end-to-end startup time in seconds.
+func (b StartupBreakdown) Total() float64 {
+	return b.Provisioning + b.Staging + b.Booting
+}
+
+// Instance is one cloud GPU (or CPU) server. All fields are managed by
+// the Provider on the simulation thread; callers must not mutate them.
+type Instance struct {
+	ID     int64
+	Region Region
+	GPU    model.GPU // zero for CPU-only instances (parameter servers)
+	Tier   Tier
+	// Stressed marks instances the measurement campaign loads with
+	// CPU/memory/GPU work; Table V shows revocation is independent of
+	// it, and the simulator honors that by construction.
+	Stressed bool
+
+	state   State
+	startup StartupBreakdown
+
+	RequestedAt sim.Time
+	RunningAt   sim.Time // valid once state reaches Running
+	EndedAt     sim.Time // valid once state is terminal
+
+	revocationTimer *sim.Event
+	onRunning       func(*Instance)
+	onRevoked       func(*Instance)
+}
+
+// State returns the current lifecycle state.
+func (in *Instance) State() State { return in.state }
+
+// Startup returns the per-stage startup breakdown. It is fully
+// populated once the instance reaches Running.
+func (in *Instance) Startup() StartupBreakdown { return in.startup }
+
+// LifetimeSeconds returns the time spent Running, using now for
+// still-running instances.
+func (in *Instance) LifetimeSeconds(now sim.Time) float64 {
+	if in.state == Requested || in.state == Provisioning || in.state == Staging {
+		return 0
+	}
+	end := now
+	if in.state.Done() {
+		end = in.EndedAt
+	}
+	return float64(end - in.RunningAt)
+}
+
+// WasRevoked reports whether the instance ended by provider revocation
+// rather than customer termination or the lifetime cap.
+func (in *Instance) WasRevoked() bool { return in.state == Revoked }
+
+// HourlyPrice returns the instance's hourly price in USD.
+func (in *Instance) HourlyPrice() float64 {
+	if in.GPU == 0 {
+		return model.ParameterServerHourly
+	}
+	return model.HourlyPrice(in.GPU, in.Tier == Transient)
+}
+
+// Cost returns the accumulated cost in USD at time now, charging from
+// the start of provisioning (clouds bill from acceptance, not boot).
+func (in *Instance) Cost(now sim.Time) float64 {
+	end := now
+	if in.state.Done() {
+		end = in.EndedAt
+	}
+	if end < in.RequestedAt {
+		return 0
+	}
+	hours := float64(end-in.RequestedAt) / 3600
+	return hours * in.HourlyPrice()
+}

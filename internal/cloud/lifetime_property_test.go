@@ -1,0 +1,61 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Property: for every offered (region, GPU) cell and any launch time,
+// sampled lifetimes are within (0, 24 h], revocations never exceed the
+// cap, and the revocation flag is consistent with the lifetime.
+func TestQuickLifetimeInvariants(t *testing.T) {
+	f := func(seed int64, launchHourRaw uint16) bool {
+		rng := stats.NewRng(seed)
+		launchHours := float64(launchHourRaw % (24 * 14))
+		for _, g := range model.AllGPUs() {
+			for _, r := range OfferedRegions(g) {
+				revoked, lifetime := sampleLifetime(rng, r, g, launchHours)
+				if lifetime <= 0 || lifetime > MaxTransientLifetimeSeconds {
+					return false
+				}
+				if !revoked && lifetime != MaxTransientLifetimeSeconds {
+					return false
+				}
+				if revoked && lifetime >= MaxTransientLifetimeSeconds {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every offered cell's long-run revocation fraction stays
+// within binomial reach of its Table V calibration.
+func TestLifetimeFractionsMatchCalibration(t *testing.T) {
+	for g, regions := range revocationConfigs {
+		for r, cfg := range regions {
+			if !cfg.offered {
+				continue
+			}
+			rng := stats.NewRng(int64(g)*100 + int64(r))
+			const n = 4000
+			revoked := 0
+			for i := 0; i < n; i++ {
+				if rev, _ := sampleLifetime(rng, r, g, float64(i%24)); rev {
+					revoked++
+				}
+			}
+			got := float64(revoked) / n
+			if diff := got - cfg.frac24h; diff > 0.03 || diff < -0.03 {
+				t.Errorf("%v/%v revocation fraction = %.3f, calibrated %.3f", r, g, got, cfg.frac24h)
+			}
+		}
+	}
+}

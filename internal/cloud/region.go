@@ -1,0 +1,91 @@
+// Package cloud simulates the Google-Cloud-like provider substrate the
+// paper measures: six regions, three GPU types, on-demand and
+// transient (preemptible) instances with a provisioning → staging →
+// running lifecycle, region- and GPU-dependent startup times,
+// revocation processes with time-of-day structure, a 24-hour transient
+// lifetime cap, and fixed pricing.
+//
+// Every distribution in this package is calibrated against a published
+// table or figure of the paper (noted at each constant); see DESIGN.md
+// §4 for the calibration summary.
+package cloud
+
+import "fmt"
+
+// Region identifies one of the six data-center regions the paper's
+// measurement study covers (§V-A).
+type Region int
+
+const (
+	// USEast1 is us-east1 (South Carolina).
+	USEast1 Region = iota + 1
+	// USCentral1 is us-central1 (Iowa).
+	USCentral1
+	// USWest1 is us-west1 (Oregon).
+	USWest1
+	// EuropeWest1 is europe-west1 (Belgium).
+	EuropeWest1
+	// EuropeWest4 is europe-west4 (Netherlands).
+	EuropeWest4
+	// AsiaEast1 is asia-east1 (Taiwan).
+	AsiaEast1
+)
+
+// AllRegions lists the regions in the paper's Table V order.
+func AllRegions() []Region {
+	return []Region{USEast1, USCentral1, USWest1, EuropeWest1, EuropeWest4, AsiaEast1}
+}
+
+// String returns the cloud-provider region name.
+func (r Region) String() string {
+	switch r {
+	case USEast1:
+		return "us-east1"
+	case USCentral1:
+		return "us-central1"
+	case USWest1:
+		return "us-west1"
+	case EuropeWest1:
+		return "europe-west1"
+	case EuropeWest4:
+		return "europe-west4"
+	case AsiaEast1:
+		return "asia-east1"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Valid reports whether r names a known region.
+func (r Region) Valid() bool { return r >= USEast1 && r <= AsiaEast1 }
+
+// ParseRegion maps a region name back to its constant.
+func ParseRegion(name string) (Region, error) {
+	for _, r := range AllRegions() {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("cloud: unknown region %q", name)
+}
+
+// utcOffsetHours gives each region's local-time offset; Fig. 9 reports
+// revocation hours in "each region's local time".
+var utcOffsetHours = map[Region]int{
+	USEast1:     -5,
+	USCentral1:  -6,
+	USWest1:     -8,
+	EuropeWest1: 1,
+	EuropeWest4: 1,
+	AsiaEast1:   8,
+}
+
+// LocalHour converts an absolute simulation hour (simulation start is
+// 00:00 UTC) into the region's local hour of day.
+func (r Region) LocalHour(simHours float64) int {
+	h := (int(simHours) + utcOffsetHours[r]) % 24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}

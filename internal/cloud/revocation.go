@@ -1,0 +1,166 @@
+package cloud
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// MaxTransientLifetimeSeconds is the provider-imposed lifetime cap for
+// transient servers (24 hours on Google Cloud).
+const MaxTransientLifetimeSeconds = 24 * 3600
+
+// revocationConfig calibrates the lifetime distribution of transient
+// servers for one (region, GPU) cell.
+//
+//   - frac24h is the probability of revocation before the 24 h cap;
+//     calibrated cell-by-cell to Table V.
+//   - pEarly is, conditioned on revocation, the probability of an
+//     "early death" within the first two hours (the steep initial
+//     segment some CDFs in Fig. 8 show, e.g. europe-west1 K80).
+//   - earlyMeanH is the mean (hours) of the truncated-exponential
+//     early-death time.
+//   - bodyBias shapes the remaining deaths over (2 h, 24 h): lifetime
+//     = 2 + 22·u^bodyBias for u ~ U(0,1). bias < 1 skews deaths late
+//     (long-lived regions like us-west1 K80), bias > 1 skews them
+//     early (short-lived V100 pools, §V-C's 7.7 h mean).
+type revocationConfig struct {
+	offered    bool
+	frac24h    float64
+	pEarly     float64
+	earlyMeanH float64
+	bodyBias   float64
+}
+
+// revocationConfigs holds the Table V calibration. Cells the paper
+// marks N/A are not offered. Revocation is independent of instance
+// workload (idle vs. stressed), matching Table V's observation.
+var revocationConfigs = map[model.GPU]map[Region]revocationConfig{
+	model.K80: {
+		USEast1:     {offered: true, frac24h: 0.4667, pEarly: 0.22, earlyMeanH: 1.0, bodyBias: 0.55},
+		USCentral1:  {offered: true, frac24h: 0.5625, pEarly: 0.06, earlyMeanH: 1.0, bodyBias: 0.25},
+		USWest1:     {offered: true, frac24h: 0.2292, pEarly: 0.03, earlyMeanH: 1.0, bodyBias: 0.30},
+		EuropeWest1: {offered: true, frac24h: 0.6667, pEarly: 0.52, earlyMeanH: 0.9, bodyBias: 0.12},
+	},
+	model.P100: {
+		USEast1:     {offered: true, frac24h: 0.70, pEarly: 0.25, earlyMeanH: 1.0, bodyBias: 0.8},
+		USCentral1:  {offered: true, frac24h: 0.5333, pEarly: 0.18, earlyMeanH: 1.0, bodyBias: 0.9},
+		USWest1:     {offered: true, frac24h: 0.6667, pEarly: 0.30, earlyMeanH: 1.0, bodyBias: 1.1},
+		EuropeWest1: {offered: true, frac24h: 0.2667, pEarly: 0.10, earlyMeanH: 1.0, bodyBias: 0.6},
+	},
+	model.V100: {
+		USCentral1:  {offered: true, frac24h: 0.6667, pEarly: 0.30, earlyMeanH: 0.8, bodyBias: 1.6},
+		USWest1:     {offered: true, frac24h: 0.7333, pEarly: 0.28, earlyMeanH: 0.8, bodyBias: 1.4},
+		EuropeWest4: {offered: true, frac24h: 0.43, pEarly: 0.15, earlyMeanH: 1.0, bodyBias: 1.0},
+		AsiaEast1:   {offered: true, frac24h: 0.47, pEarly: 0.15, earlyMeanH: 1.0, bodyBias: 1.0},
+	},
+}
+
+// hourWeights gives the relative revocation hazard by local hour of
+// day per GPU type, calibrated to Fig. 9: K80 peaks at 10:00 local
+// (a morning demand surge), P100 is broad through business hours, and
+// V100 shows no revocations between 16:00 and 20:00.
+var hourWeights = map[model.GPU][24]float64{
+	model.K80: {
+		2, 2, 1, 1, 1, 2, // 00–05
+		3, 5, 7, 11, 24, 10, // 06–11 (peak 10:00)
+		7, 6, 5, 5, 4, 4, // 12–17
+		3, 3, 3, 2, 2, 2, // 18–23
+	},
+	model.P100: {
+		3, 2, 2, 2, 2, 3,
+		4, 6, 7, 8, 8, 7,
+		7, 8, 6, 5, 5, 4,
+		4, 3, 4, 3, 3, 3,
+	},
+	model.V100: {
+		4, 3, 3, 2, 2, 3,
+		5, 6, 8, 7, 6, 5,
+		6, 5, 4, 3, 0, 0, // 16–17: quiet window starts
+		0, 0, 2, 3, 4, 4, // 18–19 quiet; resumes 20:00
+	},
+}
+
+// Offered reports whether the provider sells the given GPU in the
+// given region (Table V's non-N/A cells).
+func Offered(r Region, g model.GPU) bool {
+	cfg, ok := revocationConfigs[g]
+	if !ok {
+		return false
+	}
+	return cfg[r].offered
+}
+
+// OfferedRegions lists the regions selling the given GPU.
+func OfferedRegions(g model.GPU) []Region {
+	var out []Region
+	for _, r := range AllRegions() {
+		if Offered(r, g) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sampleLifetime draws (revoked, lifetimeSeconds) for a transient
+// server of the given type started at launchHours (absolute simulation
+// hours). Servers that survive return (false, MaxTransientLifetime).
+func sampleLifetime(rng *stats.Rng, r Region, g model.GPU, launchHours float64) (bool, float64) {
+	cfg := revocationConfigs[g][r]
+	if !cfg.offered {
+		panic("cloud: sampling lifetime for unoffered placement")
+	}
+	if !rng.Bernoulli(cfg.frac24h) {
+		return false, MaxTransientLifetimeSeconds
+	}
+	weights := hourWeights[g]
+	maxW := 0.0
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	early := rng.Bernoulli(cfg.pEarly)
+	// Thin candidate death times by the local-hour hazard weights
+	// (acceptance-rejection), so the marginal CDF keeps its calibrated
+	// shape while deaths land at Fig. 9's hours.
+	const maxTries = 64
+	var lifetimeH float64
+	for try := 0; ; try++ {
+		if early {
+			lifetimeH = rng.Exponential(cfg.earlyMeanH)
+			if lifetimeH > 2 {
+				lifetimeH = rng.Uniform(0.02, 2)
+			}
+			if lifetimeH < 1.0/60 {
+				lifetimeH = 1.0 / 60
+			}
+			// If the next two local hours carry no hazard at all,
+			// fall through to a body death instead of looping.
+			if try == maxTries/2 {
+				early = false
+				continue
+			}
+		} else {
+			u := rng.Float64()
+			lifetimeH = 2 + 22*powf(u, cfg.bodyBias)
+			if lifetimeH >= 24 {
+				lifetimeH = 23.98
+			}
+		}
+		deathHour := r.LocalHour(launchHours + lifetimeH)
+		if rng.Float64()*maxW < weights[deathHour] || try >= maxTries {
+			break
+		}
+	}
+	return true, lifetimeH * 3600
+}
+
+// powf is math.Pow with a fast path for the common bias == 1 case.
+func powf(u, bias float64) float64 {
+	if bias == 1 {
+		return u
+	}
+	return math.Pow(u, bias)
+}

@@ -1,0 +1,99 @@
+package cloud
+
+import (
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// stageDist holds a normal distribution for one startup stage.
+type stageDist struct {
+	mean, std float64
+}
+
+// startupConfig is the per-(GPU, tier) startup calibration.
+//
+// Fitted to Fig. 6: transient K80 totals ≈ 66 s vs. on-demand ≈ 56 s
+// (Δ ≈ 11 s, the paper reports 11.14 s); transient P100 ≈ 72 s, about
+// 9% slower than transient K80 with staging contributing most of the
+// difference (the paper reports 8.7%); on-demand P100 ≈ 53 s
+// (Δ ≈ 21 s vs. transient, the paper reports 21.38 s). V100 numbers
+// follow P100 (Fig. 7 shows all three types within a few seconds).
+type startupConfig struct {
+	provisioning stageDist
+	staging      stageDist
+	booting      stageDist
+}
+
+// Stage standard deviations are small: Fig. 7's delayed-request totals
+// show a coefficient of variation around 3%, with transient K80
+// staging the most variable stage (Fig. 6).
+var startupConfigs = map[model.GPU]map[Tier]startupConfig{
+	model.K80: {
+		OnDemand:  {provisioning: stageDist{18, 1.2}, staging: stageDist{20, 1.2}, booting: stageDist{18, 0.8}},
+		Transient: {provisioning: stageDist{20, 1.4}, staging: stageDist{28, 2.6}, booting: stageDist{18, 0.8}},
+	},
+	model.P100: {
+		OnDemand:  {provisioning: stageDist{18, 1.2}, staging: stageDist{17, 1.2}, booting: stageDist{18, 0.8}},
+		Transient: {provisioning: stageDist{20, 1.4}, staging: stageDist{34, 1.6}, booting: stageDist{18, 0.8}},
+	},
+	model.V100: {
+		OnDemand:  {provisioning: stageDist{18, 1.2}, staging: stageDist{18, 1.2}, booting: stageDist{18, 0.8}},
+		Transient: {provisioning: stageDist{21, 1.4}, staging: stageDist{35, 1.6}, booting: stageDist{18, 0.8}},
+	},
+}
+
+// cpuStartup covers CPU-only parameter-server instances, which carry
+// no GPU attachment step and start a little faster.
+var cpuStartup = map[Tier]startupConfig{
+	OnDemand:  {provisioning: stageDist{15, 1}, staging: stageDist{14, 1}, booting: stageDist{16, 0.8}},
+	Transient: {provisioning: stageDist{17, 1.2}, staging: stageDist{18, 1.6}, booting: stageDist{16, 0.8}},
+}
+
+// regionStartupOffset adds a small per-region shift to every stage;
+// Fig. 6 shows us-west1 starts marginally slower than us-east1.
+var regionStartupOffset = map[Region]float64{
+	USEast1:     0,
+	USCentral1:  0.3,
+	USWest1:     0.8,
+	EuropeWest1: 0.5,
+	EuropeWest4: 0.5,
+	AsiaEast1:   1.0,
+}
+
+// churnWindowSeconds is how long after a revocation in a region the
+// capacity pool is considered "churning". Fig. 7's finding: requests
+// issued immediately after a revocation have roughly the same mean
+// startup time but a ~4× higher coefficient of variation than requests
+// delayed by an hour.
+const (
+	churnWindowSeconds = 3600
+	churnStdMultiplier = 4.0
+	churnMeanShift     = 1.5 // seconds added to staging during churn
+)
+
+// sampleStartup draws a startup breakdown for the given placement.
+// churning indicates a recent revocation in the region (Fig. 7's
+// "immediate request" condition).
+func sampleStartup(rng *stats.Rng, g model.GPU, tier Tier, region Region, churning bool) StartupBreakdown {
+	var cfg startupConfig
+	if g == 0 {
+		cfg = cpuStartup[tier]
+	} else {
+		cfg = startupConfigs[g][tier]
+	}
+	offset := regionStartupOffset[region]
+	stdMul := 1.0
+	stagingShift := 0.0
+	if churning && tier == Transient {
+		stdMul = churnStdMultiplier
+		stagingShift = churnMeanShift
+	}
+	draw := func(d stageDist, shift float64) float64 {
+		return rng.NormalPos(d.mean+offset+shift, d.std*stdMul)
+	}
+	return StartupBreakdown{
+		Provisioning: draw(cfg.provisioning, 0),
+		Staging:      draw(cfg.staging, stagingShift),
+		Booting:      draw(cfg.booting, 0),
+	}
+}

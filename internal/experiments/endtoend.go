@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// EndToEndResult reproduces §VI-A: predicting the end-to-end training
+// time of a transient cluster with Eqs. 4–5 and validating against
+// full simulated sessions (the paper reports 0.8% error for ResNet-32
+// with Nw = 64K and Ic = 4K).
+type EndToEndResult struct {
+	Estimate       core.Estimate
+	ActualSeconds  []float64
+	MeanActual     float64
+	ErrorPct       float64
+	ActualRevoked  int
+	PredictedCost  float64
+	ActualCostMean float64
+}
+
+func runEndToEnd(seed int64) (Result, error) {
+	const (
+		region = cloud.USCentral1
+		nw     = 64000
+		ic     = 4000
+	)
+	resnet32 := model.ResNet32()
+
+	// 1. Fit the speed model from K80 measurements (§III).
+	ds, err := collectSpeedDataset([]model.GPU{model.K80}, seed)
+	if err != nil {
+		return nil, err
+	}
+	speedModel, err := core.FitSpeedModel(ds.observations(), core.KindSVRRBF)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Fit the checkpoint model (§IV).
+	ckptModel, err := core.FitCheckpointModel(
+		collectCheckpointDataset(5, seed+1).observations(), core.FeatTotalSize, core.KindSVRRBF)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Build the revocation estimator from a measurement campaign
+	// (§V, Fig. 8's empirical CDFs with censored survivors).
+	k, p := newCloud(seed + 2)
+	study, err := trace.RunRevocationStudy(k, p, trace.PaperCampaign(), 12)
+	if err != nil {
+		return nil, err
+	}
+	rev := core.NewRevocationEstimator()
+	if err := rev.SetLifetimes(region.String(), model.K80, study.CensoredLifetimes(model.K80, region)); err != nil {
+		return nil, err
+	}
+
+	// 4. Tp: running-average transient startup time (§V-B).
+	k2, p2 := newCloud(seed + 3)
+	startup, err := trace.RunStartupStudy(k2, p2,
+		[]model.GPU{model.K80}, []cloud.Tier{cloud.Transient}, []cloud.Region{region}, 20)
+	if err != nil {
+		return nil, err
+	}
+	tp := startup[0].MeanTotal
+	ts := train.ReplacementSeconds(resnet32, true) // cold replacement (§V-D)
+
+	predictor := &core.Predictor{
+		Speed:              speedModel,
+		Checkpoint:         ckptModel,
+		Revocation:         rev,
+		ProvisionSeconds:   tp,
+		ReplacementSeconds: ts,
+	}
+	plan := core.Plan{
+		Model: resnet32,
+		Workers: []core.Placement{
+			{GPU: model.K80, Region: region.String(), Transient: true},
+			{GPU: model.K80, Region: region.String(), Transient: true},
+		},
+		TargetSteps:        nw,
+		CheckpointInterval: ic,
+	}
+	est, err := predictor.Estimate(plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Validate against full managed sessions on the cloud.
+	res := &EndToEndResult{Estimate: est, PredictedCost: est.CostUSD}
+	const sessions = 3
+	var costSum float64
+	for i := int64(0); i < sessions; i++ {
+		k, p := newCloud(seed + 10 + i)
+		s, err := manager.NewSession(p, manager.Config{
+			Model: resnet32,
+			Workers: []manager.Placement{
+				{GPU: model.K80, Region: region, Tier: cloud.Transient},
+				{GPU: model.K80, Region: region, Tier: cloud.Transient},
+			},
+			TargetSteps:        nw,
+			CheckpointInterval: ic,
+			Replacement:        manager.ReplaceImmediate,
+			Seed:               seed + 20 + i,
+		})
+		if err != nil {
+			return nil, err
+		}
+		k.RunUntil(sim.Time(12 * 3600))
+		if !s.Done() {
+			return nil, fmt.Errorf("endtoend: session %d incomplete at %d steps", i, s.Cluster().GlobalStep())
+		}
+		s.TerminateAll()
+		res.ActualSeconds = append(res.ActualSeconds, s.TrainingSeconds())
+		res.ActualRevoked += s.Revocations()
+		costSum += s.Cost()
+	}
+	res.MeanActual = stats.Mean(res.ActualSeconds)
+	res.ErrorPct = (est.TotalSeconds - res.MeanActual) / res.MeanActual * 100
+	res.ActualCostMean = costSum / sessions
+	return res, nil
+}
+
+// String renders the prediction against the measured sessions.
+func (r *EndToEndResult) String() string {
+	t := newTable("§VI-A — end-to-end training time prediction (ResNet-32, Nw=64K, Ic=4K, 2 transient K80)",
+		"quantity", "value")
+	t.addRow("predicted cluster speed", fmt.Sprintf("%.2f steps/s", r.Estimate.ClusterSpeed))
+	t.addRow("predicted compute term", fmt.Sprintf("%.0f s", r.Estimate.ComputeSeconds))
+	t.addRow("predicted checkpoint term", fmt.Sprintf("%.0f s", r.Estimate.CheckpointSeconds))
+	t.addRow("expected revocations Nr", fmt.Sprintf("%.3f", r.Estimate.ExpectedRevocations))
+	t.addRow("predicted revocation term", fmt.Sprintf("%.0f s", r.Estimate.RevocationSeconds))
+	t.addRow("predicted total", fmt.Sprintf("%.0f s", r.Estimate.TotalSeconds))
+	for i, a := range r.ActualSeconds {
+		t.addRow(fmt.Sprintf("measured session %d", i+1), fmt.Sprintf("%.0f s", a))
+	}
+	t.addRow("measured mean", fmt.Sprintf("%.0f s", r.MeanActual))
+	t.addRow("prediction error", fmt.Sprintf("%.2f%% (paper: 0.8%%)", r.ErrorPct))
+	t.addRow("revocations absorbed", fmt.Sprintf("%d", r.ActualRevoked))
+	t.addRow("predicted cost", fmt.Sprintf("$%.2f", r.PredictedCost))
+	t.addRow("measured mean cost", fmt.Sprintf("$%.2f", r.ActualCostMean))
+	return t.String()
+}

@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each runner executes the corresponding
+// measurement methodology on the simulated substrate and renders the
+// result in the same rows/series the paper reports, so shapes can be
+// compared side by side (EXPERIMENTS.md records that comparison).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	fmt.Stringer
+}
+
+// Runner executes one experiment end to end.
+type Runner struct {
+	// ID is the short name used by cmd/repro (-exp flag) and the
+	// benchmark harness, e.g. "table1", "fig8", "endtoend".
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Run executes the experiment with the given seed.
+	Run func(seed int64) (Result, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "table1", Title: "Table I: training speed, simplest cluster (4 models × 3 GPUs)", Run: runTableI},
+		{ID: "fig2", Title: "Fig. 2: training speed vs. steps on K80 (warm-up and stability)", Run: runFigure2},
+		{ID: "fig3", Title: "Fig. 3: step time vs. normalized computation and model complexity", Run: runFigure3},
+		{ID: "table2", Title: "Table II: step-time prediction models (k-fold and test MAE)", Run: runTableII},
+		{ID: "table3", Title: "Table III: per-worker step time in homogeneous/heterogeneous clusters", Run: runTableIII},
+		{ID: "fig4", Title: "Fig. 4: cluster training speed vs. number of P100 workers", Run: runFigure4},
+		{ID: "fig5", Title: "Fig. 5: checkpoint duration vs. checkpoint size", Run: runFigure5},
+		{ID: "ckptseq", Title: "§IV-B: checkpoint overhead is additive (sequential with training)", Run: runCheckpointSequential},
+		{ID: "table4", Title: "Table IV: checkpoint-time prediction models", Run: runTableIV},
+		{ID: "fig6", Title: "Fig. 6: startup time breakdown (transient vs. on-demand)", Run: runFigure6},
+		{ID: "fig7", Title: "Fig. 7: startup time after revocations (immediate vs. delayed)", Run: runFigure7},
+		{ID: "table5", Title: "Table V: transient revocations by region and GPU", Run: runTableV},
+		{ID: "fig8", Title: "Fig. 8: lifetime CDFs by region and GPU", Run: runFigure8},
+		{ID: "fig9", Title: "Fig. 9: time-of-day impact on revocations", Run: runFigure9},
+		{ID: "fig10", Title: "Fig. 10: worker replacement overhead (cold vs. warm)", Run: runFigure10},
+		{ID: "fig11", Title: "Fig. 11: TensorFlow-specific recomputation overhead", Run: runFigure11},
+		{ID: "fig12", Title: "Fig. 12: parameter-server bottleneck detection and mitigation", Run: runFigure12},
+		{ID: "endtoend", Title: "§VI-A: end-to-end training time prediction (Eqs. 4–5)", Run: runEndToEnd},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists all experiment IDs in order.
+func IDs() []string {
+	runners := All()
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// table is a minimal text-table builder used by all renderers.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sparkline renders values as a compact unicode bar series, used for
+// histogram/CDF figures.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// sortedKeys returns map keys in sorted order for deterministic
+// rendering.
+func sortedKeys[K ~int, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,159 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Controller is CM-DARE's cluster brain (Fig. 1): it tracks
+// membership, receives revocation notices from workers' shutdown
+// hooks, and reassigns checkpoint duty to a surviving worker when the
+// chief is revoked (steps 7–9).
+type Controller struct {
+	server *transport.Server
+
+	mu      sync.Mutex
+	members map[string]*member
+	chief   string
+	// takeovers counts chief promotions, exposed for tests and
+	// monitoring.
+	takeovers int
+}
+
+type member struct {
+	name        string
+	controlAddr string
+	client      *transport.Client
+}
+
+// NewController starts a controller on addr.
+func NewController(addr string) (*Controller, error) {
+	srv, err := transport.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{server: srv, members: make(map[string]*member)}
+	srv.Handle(methodRegister, c.handleRegister)
+	srv.Handle(methodRevoked, c.handleRevoked)
+	srv.Handle(methodStatus, c.handleStatus)
+	return c, nil
+}
+
+// Addr returns the controller's listen address.
+func (c *Controller) Addr() string { return c.server.Addr() }
+
+// Close stops the controller and its outbound connections.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	for _, m := range c.members {
+		if m.client != nil {
+			m.client.Close()
+		}
+	}
+	c.mu.Unlock()
+	return c.server.Close()
+}
+
+// Takeovers returns how many chief promotions the controller has
+// performed.
+func (c *Controller) Takeovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.takeovers
+}
+
+// Chief returns the current chief's name.
+func (c *Controller) Chief() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chief
+}
+
+func (c *Controller) handleRegister(body json.RawMessage) (any, error) {
+	var req registerRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Worker == "" || req.ControlAddr == "" {
+		return nil, fmt.Errorf("live: register requires worker and control address")
+	}
+	client, err := transport.Dial(req.ControlAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("live: dialing worker control endpoint: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, exists := c.members[req.Worker]; exists && old.client != nil {
+		old.client.Close()
+	}
+	c.members[req.Worker] = &member{name: req.Worker, controlAddr: req.ControlAddr, client: client}
+	if req.Chief || c.chief == "" {
+		c.chief = req.Worker
+	}
+	return statusResponse{Workers: c.workerNamesLocked(), Chief: c.chief}, nil
+}
+
+func (c *Controller) handleRevoked(body json.RawMessage) (any, error) {
+	var req revokedNotice
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	m, exists := c.members[req.Worker]
+	if exists {
+		delete(c.members, req.Worker)
+		if m.client != nil {
+			m.client.Close()
+		}
+	}
+	wasChief := req.Worker == c.chief
+	var successor *member
+	if wasChief {
+		c.chief = ""
+		// Deterministic successor choice: the lexicographically first
+		// survivor (the paper's PS "selects one GPU worker").
+		names := c.workerNamesLocked()
+		if len(names) > 0 {
+			successor = c.members[names[0]]
+			c.chief = successor.name
+			c.takeovers++
+		}
+	}
+	c.mu.Unlock()
+
+	if successor != nil {
+		// Promote outside the lock: the worker may call back into the
+		// controller while handling the promotion.
+		err := successor.client.Call(methodPromote, promoteRequest{Reason: "chief revoked"}, nil, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("live: promoting %s: %w", successor.name, err)
+		}
+	}
+	return statusResponse{Workers: c.workerNames(), Chief: c.Chief()}, nil
+}
+
+func (c *Controller) handleStatus(json.RawMessage) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return statusResponse{Workers: c.workerNamesLocked(), Chief: c.chief}, nil
+}
+
+func (c *Controller) workerNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workerNamesLocked()
+}
+
+func (c *Controller) workerNamesLocked() []string {
+	names := make([]string, 0, len(c.members))
+	for name := range c.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

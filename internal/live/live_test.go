@@ -1,0 +1,382 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// testCluster spins up PS shards, a controller, and workers on
+// loopback.
+type testCluster struct {
+	t       *testing.T
+	shards  []*ParameterServer
+	ctrl    *Controller
+	workers []*Worker
+	ckptDir string
+}
+
+func newTestCluster(t *testing.T, nShards, nWorkers, paramCount int, ckptInterval int64) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, ckptDir: t.TempDir()}
+	for i := 0; i < nShards; i++ {
+		lo, hi := shardRange(paramCount, nShards, i)
+		ps, err := NewParameterServer("127.0.0.1:0", hi-lo, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.shards = append(tc.shards, ps)
+	}
+	ctrl, err := NewController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.ctrl = ctrl
+
+	var psAddrs []string
+	for _, s := range tc.shards {
+		psAddrs = append(psAddrs, s.Addr())
+	}
+	const classes, features = 10, 16
+	if paramCount != classes*(features+1) {
+		t.Fatalf("test wiring: paramCount %d must be %d", paramCount, classes*(features+1))
+	}
+	for i := 0; i < nWorkers; i++ {
+		w, err := NewWorker(WorkerConfig{
+			Name:               workerName(i),
+			PSAddrs:            psAddrs,
+			ControllerAddr:     ctrl.Addr(),
+			Chief:              i == 0,
+			Classes:            classes,
+			Features:           features,
+			BatchSize:          32,
+			DataSeed:           int64(1000 + i),
+			CheckpointInterval: ckptInterval,
+			CheckpointDir:      tc.ckptDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.workers = append(tc.workers, w)
+	}
+	t.Cleanup(tc.shutdown)
+	return tc
+}
+
+func workerName(i int) string {
+	return string(rune('a'+i)) + "-worker"
+}
+
+func (tc *testCluster) shutdown() {
+	for _, w := range tc.workers {
+		w.Close()
+	}
+	tc.ctrl.Close()
+	for _, s := range tc.shards {
+		s.Close()
+	}
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+const paramCount = 10 * 17
+
+func TestAsyncTrainingConverges(t *testing.T) {
+	tc := newTestCluster(t, 2, 3, paramCount, 0)
+	for _, w := range tc.workers {
+		w.Start()
+	}
+	waitFor(t, "global progress", 20*time.Second, func() bool {
+		return tc.workers[0].GlobalStep() >= 600
+	})
+	for _, w := range tc.workers {
+		w.Stop()
+		if err := w.Err(); err != nil {
+			t.Fatalf("%s failed: %v", w.cfg.Name, err)
+		}
+	}
+	// All workers contributed (asynchrony: every worker advances at
+	// its own pace).
+	for _, w := range tc.workers {
+		if w.Steps() == 0 {
+			t.Errorf("%s completed no steps", w.cfg.Name)
+		}
+	}
+	// The jointly-trained model classifies well on each worker's data.
+	for _, w := range tc.workers {
+		acc, err := w.EvalAccuracy(400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.85 {
+			t.Errorf("%s accuracy = %.3f, want ≥0.85 after async SGD", w.cfg.Name, acc)
+		}
+	}
+}
+
+func TestShardVersionsAdvanceTogether(t *testing.T) {
+	tc := newTestCluster(t, 3, 2, paramCount, 0)
+	for _, w := range tc.workers {
+		w.Start()
+	}
+	waitFor(t, "progress", 20*time.Second, func() bool {
+		return tc.workers[0].GlobalStep() >= 200
+	})
+	for _, w := range tc.workers {
+		w.Stop()
+	}
+	// Every shard saw every push: versions match across shards.
+	client, err := transport.Dial(tc.shards[0].Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var first psStatsResponse
+	if err := client.Call(methodPSStats, struct{}{}, &first, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tc.shards[1:] {
+		c2, err := transport.Dial(s.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats psStatsResponse
+		err = c2.Call(methodPSStats, struct{}{}, &stats, time.Second)
+		c2.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Version != first.Version {
+			t.Fatalf("shard versions diverge: %d vs %d", stats.Version, first.Version)
+		}
+	}
+}
+
+func TestChiefCheckpointsPeriodically(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, paramCount, 100)
+	for _, w := range tc.workers {
+		w.Start()
+	}
+	waitFor(t, "checkpoints", 20*time.Second, func() bool {
+		return tc.workers[0].Checkpoints() >= 3
+	})
+	for _, w := range tc.workers {
+		w.Stop()
+	}
+	if got := tc.workers[1].Checkpoints(); got != 0 {
+		t.Fatalf("non-chief wrote %d checkpoints", got)
+	}
+	store, err := storage.NewStore(tc.ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok, err := store.Latest()
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint on disk: %v", err)
+	}
+	params, meta, err := store.Load(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != paramCount {
+		t.Fatalf("checkpoint has %d params, want %d", len(params), paramCount)
+	}
+	if meta.Chief != tc.workers[0].cfg.Name {
+		t.Fatalf("checkpoint written by %q, want chief %q", meta.Chief, tc.workers[0].cfg.Name)
+	}
+	// The three TensorFlow-style files exist with sane sizes.
+	data, index, metaSize, err := store.FileSizes(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != int64(8*paramCount) || index <= 0 || metaSize <= 0 {
+		t.Fatalf("file sizes %d/%d/%d", data, index, metaSize)
+	}
+}
+
+func TestChiefRevocationTakeover(t *testing.T) {
+	tc := newTestCluster(t, 2, 3, paramCount, 100)
+	for _, w := range tc.workers {
+		w.Start()
+	}
+	waitFor(t, "initial checkpoints", 20*time.Second, func() bool {
+		return tc.workers[0].Checkpoints() >= 1
+	})
+
+	// Revoke the chief: its shutdown hook notifies the controller,
+	// which promotes a survivor (§II steps 6–9).
+	if err := tc.workers[0].Revoke(); err != nil {
+		t.Fatalf("revocation notice failed: %v", err)
+	}
+	waitFor(t, "chief takeover", 10*time.Second, func() bool {
+		return tc.workers[1].IsChief() || tc.workers[2].IsChief()
+	})
+	if tc.ctrl.Takeovers() != 1 {
+		t.Fatalf("controller takeovers = %d, want 1", tc.ctrl.Takeovers())
+	}
+
+	// Training continues and the new chief checkpoints.
+	var newChief *Worker
+	for _, w := range tc.workers[1:] {
+		if w.IsChief() {
+			newChief = w
+		}
+	}
+	if newChief == nil {
+		t.Fatal("no new chief")
+	}
+	waitFor(t, "post-takeover checkpoint", 20*time.Second, func() bool {
+		return newChief.Checkpoints() >= 1
+	})
+	for _, w := range tc.workers[1:] {
+		w.Stop()
+		if err := w.Err(); err != nil {
+			t.Fatalf("%s failed after takeover: %v", w.cfg.Name, err)
+		}
+	}
+	store, err := storage.NewStore(tc.ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok, err := store.Latest()
+	if err != nil || !ok {
+		t.Fatal("no checkpoint after takeover")
+	}
+	_, meta, err := store.Load(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Chief != newChief.cfg.Name {
+		t.Fatalf("latest checkpoint by %q, want new chief %q", meta.Chief, newChief.cfg.Name)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, paramCount, 100)
+	for _, w := range tc.workers {
+		w.Start()
+	}
+	waitFor(t, "a checkpoint", 20*time.Second, func() bool {
+		return tc.workers[0].Checkpoints() >= 2
+	})
+	for _, w := range tc.workers {
+		w.Stop()
+	}
+	store, err := storage.NewStore(tc.ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptStep, ok, err := store.Latest()
+	if err != nil || !ok {
+		t.Fatal("no checkpoint")
+	}
+	want, _, err := store.Load(ckptStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh parameter servers — a full cluster restart.
+	var psAddrs []string
+	for i := 0; i < 2; i++ {
+		lo, hi := shardRange(paramCount, 2, i)
+		ps, err := NewParameterServer("127.0.0.1:0", hi-lo, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ps.Close()
+		psAddrs = append(psAddrs, ps.Addr())
+	}
+	w, err := NewWorker(WorkerConfig{
+		Name:          "restorer",
+		PSAddrs:       psAddrs,
+		Classes:       10,
+		Features:      16,
+		DataSeed:      5,
+		CheckpointDir: tc.ckptDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	restoredStep, err := w.RestoreLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoredStep != ckptStep {
+		t.Fatalf("restored step %d, want %d", restoredStep, ckptStep)
+	}
+	got, _, err := w.pullAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored param %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := NewWorker(WorkerConfig{Name: "w", PSAddrs: []string{"127.0.0.1:1"}, Classes: 10, Features: 4, CheckpointInterval: 10}); err == nil {
+		t.Error("checkpoint interval without dir should error")
+	}
+}
+
+func TestPSValidation(t *testing.T) {
+	if _, err := NewParameterServer("127.0.0.1:0", 0, 0.1); err == nil {
+		t.Error("zero shard should error")
+	}
+	if _, err := NewParameterServer("127.0.0.1:0", 5, 0); err == nil {
+		t.Error("zero learning rate should error")
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	// 10 params over 3 shards: 4+3+3, contiguous and complete.
+	var total int
+	prevHi := 0
+	for i := 0; i < 3; i++ {
+		lo, hi := shardRange(10, 3, i)
+		if lo != prevHi {
+			t.Fatalf("shard %d starts at %d, want %d", i, lo, prevHi)
+		}
+		total += hi - lo
+		prevHi = hi
+	}
+	if total != 10 || prevHi != 10 {
+		t.Fatalf("shards cover %d params ending at %d", total, prevHi)
+	}
+}
+
+func TestPushShapeMismatchRejected(t *testing.T) {
+	ps, err := NewParameterServer("127.0.0.1:0", 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	c, err := transport.Dial(ps.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call(methodPush, pushRequest{Worker: "w", Grad: make([]float64, 3)}, nil, time.Second)
+	if err == nil {
+		t.Fatal("mismatched gradient shard should be rejected")
+	}
+}

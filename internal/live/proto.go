@@ -1,0 +1,109 @@
+// Package live implements a real (not simulated) asynchronous
+// parameter-server training cluster over TCP: parameter-server shards,
+// GPU-less workers doing real gradient math on a synthetic dataset, a
+// chief that checkpoints to a storage directory, and a controller that
+// handles revocation notices and chief takeover.
+//
+// This is the transient-TensorFlow + controller slice of the paper's
+// Fig. 1 made executable: RPC connections between parameter servers
+// and workers (step 3), periodic checkpoints by the chief (step 5),
+// revocation notifications (step 7), and checkpoint-duty takeover
+// (steps 8–9). The performance *measurements* of the paper run on the
+// calibrated simulator (internal/train); this package demonstrates
+// the systems mechanics end to end.
+package live
+
+// Method names shared by the cluster's RPC endpoints.
+const (
+	methodPull      = "ps.pull"
+	methodPush      = "ps.push"
+	methodSetParams = "ps.setParams"
+	methodPSStats   = "ps.stats"
+
+	methodRegister = "ctrl.register"
+	methodRevoked  = "ctrl.revoked"
+	methodStatus   = "ctrl.status"
+
+	methodPromote = "worker.promote"
+)
+
+// pullRequest asks a shard for its current parameters.
+type pullRequest struct {
+	Worker string `json:"worker"`
+}
+
+// pullResponse carries a shard's parameters and version (the number
+// of updates applied — shard 0's version serves as the global step).
+type pullResponse struct {
+	Version int64     `json:"version"`
+	Params  []float64 `json:"params"`
+}
+
+// pushRequest applies one gradient shard.
+type pushRequest struct {
+	Worker string    `json:"worker"`
+	Grad   []float64 `json:"grad"`
+}
+
+// pushResponse acknowledges with the post-update version.
+type pushResponse struct {
+	Version int64 `json:"version"`
+}
+
+// setParamsRequest overwrites a shard's parameters (checkpoint
+// restore).
+type setParamsRequest struct {
+	Params []float64 `json:"params"`
+}
+
+// psStatsResponse reports shard counters.
+type psStatsResponse struct {
+	Version   int64 `json:"version"`
+	ShardSize int   `json:"shard_size"`
+	PushCount int64 `json:"push_count"`
+	PullCount int64 `json:"pull_count"`
+}
+
+// registerRequest announces a worker to the controller.
+type registerRequest struct {
+	Worker      string `json:"worker"`
+	ControlAddr string `json:"control_addr"`
+	Chief       bool   `json:"chief"`
+}
+
+// revokedNotice tells the controller a worker is being preempted
+// (sent from the shutdown-script window, §V-A).
+type revokedNotice struct {
+	Worker string `json:"worker"`
+}
+
+// statusResponse summarizes cluster membership.
+type statusResponse struct {
+	Workers []string `json:"workers"`
+	Chief   string   `json:"chief"`
+}
+
+// promoteRequest instructs a worker to take over checkpoint duty.
+type promoteRequest struct {
+	Reason string `json:"reason"`
+}
+
+// shardRange splits total parameters into nShards near-equal
+// contiguous ranges and returns shard i's [lo, hi).
+func shardRange(total, nShards, i int) (lo, hi int) {
+	base := total / nShards
+	extra := total % nShards
+	lo = i*base + min(i, extra)
+	size := base
+	if i < extra {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// ParameterServer owns one shard of the model parameters and applies
+// asynchronous SGD updates as gradient pushes arrive — the paper's
+// parameter-server role (§II): "update the deep learning model
+// parameters after each worker generates the gradients".
+type ParameterServer struct {
+	server *transport.Server
+
+	mu        sync.Mutex
+	params    []float64
+	version   int64
+	pushCount int64
+	pullCount int64
+	lr        float64
+}
+
+// NewParameterServer starts a shard holding shardSize parameters
+// (zero-initialized) on addr, applying updates with learning rate lr.
+func NewParameterServer(addr string, shardSize int, lr float64) (*ParameterServer, error) {
+	if shardSize <= 0 {
+		return nil, fmt.Errorf("live: shard size must be positive, got %d", shardSize)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("live: learning rate must be positive, got %v", lr)
+	}
+	srv, err := transport.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	ps := &ParameterServer{
+		server: srv,
+		params: make([]float64, shardSize),
+		lr:     lr,
+	}
+	srv.Handle(methodPull, ps.handlePull)
+	srv.Handle(methodPush, ps.handlePush)
+	srv.Handle(methodSetParams, ps.handleSetParams)
+	srv.Handle(methodPSStats, ps.handleStats)
+	return ps, nil
+}
+
+// Addr returns the shard's listen address.
+func (ps *ParameterServer) Addr() string { return ps.server.Addr() }
+
+// Close stops serving.
+func (ps *ParameterServer) Close() error { return ps.server.Close() }
+
+func (ps *ParameterServer) handlePull(body json.RawMessage) (any, error) {
+	var req pullRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.pullCount++
+	out := pullResponse{Version: ps.version, Params: make([]float64, len(ps.params))}
+	copy(out.Params, ps.params)
+	return out, nil
+}
+
+func (ps *ParameterServer) handlePush(body json.RawMessage) (any, error) {
+	var req pushRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(req.Grad) != len(ps.params) {
+		return nil, fmt.Errorf("live: gradient shard of %d values, shard holds %d", len(req.Grad), len(ps.params))
+	}
+	for i, g := range req.Grad {
+		ps.params[i] -= ps.lr * g
+	}
+	ps.version++
+	ps.pushCount++
+	return pushResponse{Version: ps.version}, nil
+}
+
+func (ps *ParameterServer) handleSetParams(body json.RawMessage) (any, error) {
+	var req setParamsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(req.Params) != len(ps.params) {
+		return nil, fmt.Errorf("live: restore of %d values, shard holds %d", len(req.Params), len(ps.params))
+	}
+	copy(ps.params, req.Params)
+	return pushResponse{Version: ps.version}, nil
+}
+
+func (ps *ParameterServer) handleStats(json.RawMessage) (any, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return psStatsResponse{
+		Version:   ps.version,
+		ShardSize: len(ps.params),
+		PushCount: ps.pushCount,
+		PullCount: ps.pullCount,
+	}, nil
+}

@@ -1,0 +1,336 @@
+// Package manager implements CM-DARE's resource manager and
+// controller (paper Fig. 1): it acquires cloud instances for a
+// training session, wires instance lifecycle events into the training
+// cluster (joins, revocations), and applies replacement policies when
+// transient workers are revoked.
+//
+// The manager is the glue between the cloud substrate
+// (internal/cloud) and the training runtime (internal/train); neither
+// of those packages knows about the other.
+package manager
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// ReplacementPolicy selects what the controller does when a worker is
+// revoked (§V-B studies immediate versus delayed acquisition).
+type ReplacementPolicy int
+
+const (
+	// ReplaceNone lets the cluster shrink.
+	ReplaceNone ReplacementPolicy = iota + 1
+	// ReplaceImmediate requests a same-type replacement at once; the
+	// paper finds revocations do not slow subsequent requests, so this
+	// is the recommended default.
+	ReplaceImmediate
+	// ReplaceDelayed waits DelaySeconds before requesting.
+	ReplaceDelayed
+)
+
+// String names the policy.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case ReplaceNone:
+		return "none"
+	case ReplaceImmediate:
+		return "immediate"
+	case ReplaceDelayed:
+		return "delayed"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// Placement describes one worker to acquire.
+type Placement struct {
+	GPU    model.GPU
+	Region cloud.Region
+	Tier   cloud.Tier
+}
+
+// Config describes a managed training session.
+type Config struct {
+	Model   model.Model
+	Workers []Placement
+	// ParameterServers count and region; parameter servers run
+	// on-demand (the paper never risks the non-revocable role).
+	ParameterServers int
+	PSRegion         cloud.Region
+
+	TargetSteps        int64
+	CheckpointInterval int64
+
+	Replacement  ReplacementPolicy
+	DelaySeconds float64 // for ReplaceDelayed
+
+	// MaxReplacements bounds controller spending; 0 means unlimited.
+	MaxReplacements int
+
+	Seed int64
+}
+
+// validate rejects impossible configurations and fills defaults.
+func (c *Config) validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("manager: no workers")
+	}
+	for i, w := range c.Workers {
+		if !w.GPU.Valid() {
+			return fmt.Errorf("manager: worker %d invalid GPU", i)
+		}
+		if !cloud.Offered(w.Region, w.GPU) {
+			return fmt.Errorf("manager: worker %d: %v not offered in %v", i, w.GPU, w.Region)
+		}
+	}
+	if c.ParameterServers == 0 {
+		c.ParameterServers = 1
+	}
+	if c.ParameterServers < 0 {
+		return fmt.Errorf("manager: negative parameter server count")
+	}
+	if c.PSRegion == 0 {
+		c.PSRegion = c.Workers[0].Region
+	}
+	if c.Replacement == 0 {
+		c.Replacement = ReplaceImmediate
+	}
+	if c.Replacement == ReplaceDelayed && c.DelaySeconds <= 0 {
+		return fmt.Errorf("manager: delayed replacement needs positive DelaySeconds")
+	}
+	return nil
+}
+
+// Session is one managed training run. All methods run on the
+// simulation thread.
+type Session struct {
+	provider *cloud.Provider
+	cluster  *train.Cluster
+	cfg      Config
+
+	psInstances []*cloud.Instance
+	psUp        int
+	started     bool
+
+	// pending holds worker placements whose instances are up before
+	// the parameter servers are.
+	pending []Placement
+
+	instances    map[int64]Placement // live GPU instances by ID
+	instWorker   map[int64]string    // instance → cluster worker name
+	revocations  int
+	replacements int
+
+	trainingStartedAt float64
+}
+
+// NewSession builds the session and immediately requests every
+// instance (parameter servers and workers) from the provider. Run the
+// kernel to make progress; the session starts training once the
+// parameter servers and the first worker are up.
+func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cluster, err := train.NewCluster(p.Kernel(), train.Config{
+		Model:              cfg.Model,
+		ParameterServers:   cfg.ParameterServers,
+		TargetSteps:        cfg.TargetSteps,
+		CheckpointInterval: cfg.CheckpointInterval,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		provider:   p,
+		cluster:    cluster,
+		cfg:        cfg,
+		instances:  make(map[int64]Placement),
+		instWorker: make(map[int64]string),
+	}
+	if cfg.TargetSteps > 0 {
+		// Stop the meter the moment training completes; cloud servers
+		// left running after the session bill (and churn) for nothing.
+		cluster.WhenStep(cfg.TargetSteps, s.TerminateAll)
+	}
+	for i := 0; i < cfg.ParameterServers; i++ {
+		in, err := p.Launch(cloud.Request{
+			Region:    cfg.PSRegion,
+			Tier:      cloud.OnDemand,
+			OnRunning: func(*cloud.Instance) { s.psRunning() },
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.psInstances = append(s.psInstances, in)
+	}
+	for _, w := range cfg.Workers {
+		if err := s.requestWorker(w); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Cluster exposes the underlying training cluster (for trackers,
+// bottleneck checks, and assertions).
+func (s *Session) Cluster() *train.Cluster { return s.cluster }
+
+// Revocations returns how many worker revocations the session has
+// absorbed.
+func (s *Session) Revocations() int { return s.revocations }
+
+// Replacements returns how many replacement instances were requested.
+func (s *Session) Replacements() int { return s.replacements }
+
+// TrainingStartedAt returns when the first worker began training.
+func (s *Session) TrainingStartedAt() float64 { return s.trainingStartedAt }
+
+// TrainingSeconds returns the time from training start until the
+// target was reached; it is only meaningful once Done.
+func (s *Session) TrainingSeconds() float64 {
+	res := s.cluster.Result()
+	if !res.Done {
+		return 0
+	}
+	// The cluster's own TotalSeconds counts from cluster Start, which
+	// is when training began.
+	return res.TotalSeconds
+}
+
+// Done reports whether the target step count was reached.
+func (s *Session) Done() bool { return s.cluster.Done() }
+
+// Cost returns the provider bill so far in USD.
+func (s *Session) Cost() float64 { return s.provider.TotalCost() }
+
+// requestWorker launches one GPU instance and wires its lifecycle.
+func (s *Session) requestWorker(pl Placement) error {
+	in, err := s.provider.Launch(cloud.Request{
+		Region:    pl.Region,
+		GPU:       pl.GPU,
+		Tier:      pl.Tier,
+		OnRunning: func(in *cloud.Instance) { s.workerUp(in, pl) },
+		OnRevoked: func(in *cloud.Instance) { s.workerRevoked(in) },
+	})
+	if err != nil {
+		return err
+	}
+	s.instances[in.ID] = pl
+	return nil
+}
+
+// psRunning counts parameter servers coming up and flushes queued
+// worker joins once all are ready.
+func (s *Session) psRunning() {
+	s.psUp++
+	if s.psUp < s.cfg.ParameterServers {
+		return
+	}
+	for _, pl := range s.pending {
+		s.joinWorker(pl)
+	}
+	s.pending = nil
+}
+
+// workerUp handles a GPU instance reaching Running.
+func (s *Session) workerUp(in *cloud.Instance, pl Placement) {
+	if s.cluster.Done() {
+		s.provider.Terminate(in)
+		return
+	}
+	if s.psUp < s.cfg.ParameterServers {
+		s.pending = append(s.pending, pl)
+		return
+	}
+	name := s.joinWorker(pl)
+	s.instWorker[in.ID] = name
+}
+
+// joinWorker starts the cluster on first join and adds the worker
+// with a cold setup (framework start, session join, graph build,
+// dataset download — Fig. 10's cold path).
+func (s *Session) joinWorker(pl Placement) string {
+	if !s.started {
+		s.started = true
+		s.trainingStartedAt = s.provider.Now().Seconds()
+		s.cluster.Start()
+	}
+	name, err := s.cluster.AddWorker(train.WorkerSpec{GPU: pl.GPU}, train.JoinMode{Cold: true})
+	if err != nil {
+		// AddWorker only fails on invalid GPU or unstarted cluster,
+		// both impossible here; surface loudly if the invariant breaks.
+		panic(fmt.Sprintf("manager: join failed: %v", err))
+	}
+	return name
+}
+
+// workerRevoked handles a preemption: kill the cluster worker and
+// apply the replacement policy.
+func (s *Session) workerRevoked(in *cloud.Instance) {
+	pl, ok := s.instances[in.ID]
+	if !ok {
+		return
+	}
+	delete(s.instances, in.ID)
+	s.revocations++
+	if name, ok := s.instWorker[in.ID]; ok {
+		delete(s.instWorker, in.ID)
+		// The worker may legitimately be gone already (e.g. session
+		// finished); ignore that case but keep training-time errors
+		// loud via the cluster's own validation.
+		_ = s.cluster.KillWorker(name)
+	}
+	if s.cluster.Done() {
+		return
+	}
+	switch s.cfg.Replacement {
+	case ReplaceImmediate:
+		s.replace(pl, 0)
+	case ReplaceDelayed:
+		s.replace(pl, s.cfg.DelaySeconds)
+	case ReplaceNone:
+	}
+}
+
+// replace requests a same-placement instance after delay seconds,
+// respecting the replacement budget.
+func (s *Session) replace(pl Placement, delay float64) {
+	if s.cfg.MaxReplacements > 0 && s.replacements >= s.cfg.MaxReplacements {
+		return
+	}
+	s.replacements++
+	launch := func() {
+		if s.cluster.Done() {
+			return
+		}
+		// Replacement requests can themselves fail only for invalid
+		// placements, which validate() already excluded.
+		if err := s.requestWorker(pl); err != nil {
+			panic(fmt.Sprintf("manager: replacement failed: %v", err))
+		}
+	}
+	if delay <= 0 {
+		launch()
+		return
+	}
+	s.provider.Kernel().After(delay, launch)
+}
+
+// TerminateAll stops every instance the session owns (end of study or
+// budget cut).
+func (s *Session) TerminateAll() {
+	for _, in := range s.psInstances {
+		s.provider.Terminate(in)
+	}
+	for _, in := range s.provider.Instances() {
+		if _, ours := s.instances[in.ID]; ours {
+			s.provider.Terminate(in)
+		}
+	}
+}

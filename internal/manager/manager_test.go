@@ -1,0 +1,189 @@
+package manager
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newEnv(seed int64) (*sim.Kernel, *cloud.Provider) {
+	k := &sim.Kernel{}
+	return k, cloud.NewProvider(k, stats.NewRng(seed))
+}
+
+func basicConfig(n int) Config {
+	return Config{
+		Model:              model.ResNet15(),
+		Workers:            placements(model.K80, cloud.USCentral1, n),
+		TargetSteps:        3000,
+		CheckpointInterval: 1000,
+		Seed:               1,
+	}
+}
+
+func placements(g model.GPU, r cloud.Region, n int) []Placement {
+	out := make([]Placement, n)
+	for i := range out {
+		out[i] = Placement{GPU: g, Region: r, Tier: cloud.Transient}
+	}
+	return out
+}
+
+func TestSessionTrainsToCompletion(t *testing.T) {
+	k, p := newEnv(2)
+	s, err := NewSession(p, basicConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(3 * 3600))
+	if !s.Done() {
+		t.Fatalf("session not done after 3 h; steps = %d", s.Cluster().GlobalStep())
+	}
+	if s.TrainingStartedAt() < 60 || s.TrainingStartedAt() > 300 {
+		t.Errorf("training started at %.1f s, want after instance startup (~60–300 s)", s.TrainingStartedAt())
+	}
+	res := s.Cluster().Result()
+	if res.CheckpointCount < 2 {
+		t.Errorf("checkpoints = %d, want ≥2", res.CheckpointCount)
+	}
+	if s.Cost() <= 0 {
+		t.Error("cost should be positive")
+	}
+}
+
+func TestSessionRejectsBadConfigs(t *testing.T) {
+	_, p := newEnv(3)
+	bad := []Config{
+		{},
+		{Model: model.ResNet15(), Workers: []Placement{{GPU: model.V100, Region: cloud.USEast1, Tier: cloud.Transient}}}, // V100 N/A in us-east1
+		{Model: model.ResNet15(), Workers: placements(model.K80, cloud.USCentral1, 1), Replacement: ReplaceDelayed},      // missing delay
+	}
+	for i, cfg := range bad {
+		if _, err := NewSession(p, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestImmediateReplacementKeepsClusterSize(t *testing.T) {
+	// In a high-revocation region with immediate replacement, the
+	// session should absorb revocations and still finish long
+	// workloads; replacements requested ≥ revocations absorbed... and
+	// every revocation with budget left triggers a request.
+	k, p := newEnv(5)
+	cfg := Config{
+		Model:              model.ResNet15(),
+		Workers:            placements(model.K80, cloud.EuropeWest1, 3), // 66% revocation cell
+		TargetSteps:        250000,                                      // ≈2.5 h at 3×9.46 steps/s
+		CheckpointInterval: 4000,
+		Replacement:        ReplaceImmediate,
+		Seed:               7,
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(24 * 3600))
+	if !s.Done() {
+		t.Fatalf("session not done; steps=%d revocations=%d", s.Cluster().GlobalStep(), s.Revocations())
+	}
+	if s.Revocations() > 0 && s.Replacements() == 0 {
+		t.Error("revocations absorbed but no replacements requested")
+	}
+	if s.Replacements() > s.Revocations() {
+		t.Errorf("replacements %d exceed revocations %d", s.Replacements(), s.Revocations())
+	}
+}
+
+func TestReplaceNonePolicyShrinks(t *testing.T) {
+	k, p := newEnv(11)
+	cfg := Config{
+		Model:       model.ResNet15(),
+		Workers:     placements(model.K80, cloud.EuropeWest1, 4),
+		TargetSteps: 2000000, // will not finish in 24 h — we only watch the cluster shrink
+		Replacement: ReplaceNone,
+		Seed:        13,
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(24 * 3600))
+	if s.Replacements() != 0 {
+		t.Fatalf("ReplaceNone requested %d replacements", s.Replacements())
+	}
+	if s.Revocations() == 0 {
+		t.Skip("no revocations drawn in 24h for this seed; nothing to assert")
+	}
+	live := len(s.Cluster().LiveWorkers())
+	if live >= 4 {
+		t.Errorf("live workers = %d after %d revocations with no replacement", live, s.Revocations())
+	}
+}
+
+func TestDelayedReplacement(t *testing.T) {
+	k, p := newEnv(17)
+	cfg := Config{
+		Model:        model.ResNet15(),
+		Workers:      placements(model.P100, cloud.USEast1, 2), // 70% revocation cell
+		TargetSteps:  1000000,
+		Replacement:  ReplaceDelayed,
+		DelaySeconds: 3600,
+		Seed:         19,
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(12 * 3600))
+	if s.Revocations() == 0 {
+		t.Skip("no revocations drawn; nothing to assert")
+	}
+	if s.Replacements() > s.Revocations() {
+		t.Errorf("replacements %d exceed revocations %d", s.Replacements(), s.Revocations())
+	}
+}
+
+func TestMaxReplacementsBudget(t *testing.T) {
+	k, p := newEnv(23)
+	cfg := Config{
+		Model:           model.ResNet15(),
+		Workers:         placements(model.P100, cloud.USEast1, 4),
+		TargetSteps:     5000000,
+		Replacement:     ReplaceImmediate,
+		MaxReplacements: 2,
+		Seed:            29,
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(30 * 3600))
+	if s.Replacements() > 2 {
+		t.Fatalf("replacements %d exceed budget 2", s.Replacements())
+	}
+}
+
+func TestTerminateAllStopsBilling(t *testing.T) {
+	k, p := newEnv(31)
+	s, err := NewSession(p, basicConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.Time(600))
+	s.TerminateAll()
+	cost := s.Cost()
+	k.RunUntil(sim.Time(7200))
+	if s.Cost() != cost {
+		t.Fatalf("cost kept accruing after TerminateAll: %.4f → %.4f", cost, s.Cost())
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if ReplaceNone.String() != "none" || ReplaceImmediate.String() != "immediate" || ReplaceDelayed.String() != "delayed" {
+		t.Error("policy stringers broken")
+	}
+}

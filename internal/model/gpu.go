@@ -1,0 +1,88 @@
+// Package model defines the workload side of the study: the GPU
+// catalog and the zoo of twenty CNN models the paper measures, together
+// with the calibrated per-GPU step-time curves (Table I) that drive the
+// training simulator.
+package model
+
+import "fmt"
+
+// GPU identifies one of the three Google Cloud GPU types the paper
+// uses. The catalog is deliberately closed: the paper's observation
+// that "cloud GPUs are limited in selection" is what makes per-GPU
+// regression models practical (§III-B).
+type GPU int
+
+const (
+	// K80 is the Nvidia Tesla K80 (4.11 TFLOPS, 12 GB).
+	K80 GPU = iota + 1
+	// P100 is the Nvidia Tesla P100 (9.53 TFLOPS, 16 GB).
+	P100
+	// V100 is the Nvidia Tesla V100 (14.13 TFLOPS, 16 GB).
+	V100
+)
+
+// AllGPUs lists the catalog in ascending capability order.
+func AllGPUs() []GPU { return []GPU{K80, P100, V100} }
+
+// String returns the marketing name of the GPU.
+func (g GPU) String() string {
+	switch g {
+	case K80:
+		return "K80"
+	case P100:
+		return "P100"
+	case V100:
+		return "V100"
+	default:
+		return fmt.Sprintf("GPU(%d)", int(g))
+	}
+}
+
+// Valid reports whether g is one of the cataloged types.
+func (g GPU) Valid() bool { return g >= K80 && g <= V100 }
+
+// GPUSpec describes a cataloged GPU type.
+type GPUSpec struct {
+	GPU       GPU
+	TFLOPS    float64 // computational capacity, teraflops (paper §III-A)
+	MemoryGB  int
+	OnDemand  float64 // GPU hourly price, USD (us-central1, 2019)
+	Transient float64 // preemptible hourly price, USD
+}
+
+var gpuSpecs = map[GPU]GPUSpec{
+	K80:  {GPU: K80, TFLOPS: 4.11, MemoryGB: 12, OnDemand: 0.45, Transient: 0.135},
+	P100: {GPU: P100, TFLOPS: 9.53, MemoryGB: 16, OnDemand: 1.46, Transient: 0.43},
+	V100: {GPU: V100, TFLOPS: 14.13, MemoryGB: 16, OnDemand: 2.48, Transient: 0.74},
+}
+
+// Spec returns the catalog entry for g. It panics on an invalid GPU:
+// all call sites construct GPUs from the package constants.
+func Spec(g GPU) GPUSpec {
+	s, ok := gpuSpecs[g]
+	if !ok {
+		panic(fmt.Sprintf("model: unknown GPU %d", int(g)))
+	}
+	return s
+}
+
+// VMBaseOnDemand and VMBaseTransient are the hourly prices of the host
+// VM (4 vCPU, 52 GB) that carries each GPU, excluding the GPU itself.
+const (
+	VMBaseOnDemand  = 0.19
+	VMBaseTransient = 0.04
+)
+
+// ParameterServerHourly is the hourly price of the non-revocable
+// parameter server (4 vCPU, 16 GB, no GPU) used in every cluster.
+const ParameterServerHourly = 0.19
+
+// HourlyPrice returns the full hourly price of a GPU server of the
+// given type and tier (GPU plus host VM).
+func HourlyPrice(g GPU, transient bool) float64 {
+	s := Spec(g)
+	if transient {
+		return s.Transient + VMBaseTransient
+	}
+	return s.OnDemand + VMBaseOnDemand
+}

@@ -1,0 +1,187 @@
+package model
+
+import "fmt"
+
+// Family groups the zoo into the two architectures the paper draws its
+// canonical models from.
+type Family int
+
+const (
+	// ResNet is the residual-network family (He et al.).
+	ResNet Family = iota + 1
+	// ShakeShake is the shake-shake regularized family (Gastaldi).
+	ShakeShake
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case ResNet:
+		return "ResNet"
+	case ShakeShake:
+		return "ShakeShake"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Model describes one CNN workload. GFLOPs is the paper's model
+// complexity measure (floating-point operations to train on one
+// image, computed from the CIFAR-10 input shape). The byte sizes are
+// calibrated to the paper's measurements rather than derived from raw
+// parameter math; see DESIGN.md §4.
+type Model struct {
+	Name   string
+	Family Family
+	// Layers is the depth knob for ResNet variants; WidthFactor the
+	// width knob for Shake-Shake variants. Only one is meaningful per
+	// family, the other is 0.
+	Layers      int
+	WidthFactor int
+	// GFLOPs is model complexity per image (paper Table I).
+	GFLOPs float64
+	// GradientBytes is the size of one gradient push / parameter pull,
+	// which sets the parameter-server service time per update.
+	GradientBytes int64
+	// Tensors is the number of tensors (weights, biases, statistics) in
+	// the model; the paper notes meta and index checkpoint file sizes
+	// correlate with it (§IV-A).
+	Tensors int
+	// Checkpoint file sizes: TensorFlow writes a data file (variable
+	// values), a meta file (serialized graph), and an index file.
+	CkptDataBytes  int64
+	CkptMetaBytes  int64
+	CkptIndexBytes int64
+}
+
+// CheckpointBytes returns Sc, the total size of one checkpoint (data +
+// meta + index), the feature the paper's univariate checkpoint
+// predictor uses.
+func (m Model) CheckpointBytes() int64 {
+	return m.CkptDataBytes + m.CkptMetaBytes + m.CkptIndexBytes
+}
+
+// ComputationRatio returns the paper's computation ratio: model
+// complexity divided by GPU computational capacity (GFLOPs / TFLOPS).
+func (m Model) ComputationRatio(g GPU) float64 {
+	return m.GFLOPs / Spec(g).TFLOPS
+}
+
+const mb = 1 << 20
+
+// resnet builds a ResNet-family zoo entry from its depth. Complexity,
+// gradient size, and checkpoint size are affine in depth, with
+// coefficients fitted so ResNet-15 and ResNet-32 land on their
+// paper-calibrated values: Table I step times, the ResNet-32
+// checkpoint time of 3.84 s (§IV-B) within Fig. 5's size range, and
+// the parameter-server saturation points of Table III and Fig. 12
+// (single-PS capacity ≈60 ResNet-32 updates/s, ≈110 ResNet-15
+// updates/s).
+func resnet(layers int) Model {
+	gflops := 0.0559*float64(layers) - 0.248
+	gradMB := 0.5365*float64(layers) + 2.27
+	ckptDataMB := 50.5*gflops + 2
+	tensors := 5*layers + 10
+	return finish(Model{
+		Name:    fmt.Sprintf("ResNet-%d", layers),
+		Family:  ResNet,
+		Layers:  layers,
+		GFLOPs:  round3(gflops),
+		Tensors: tensors,
+	}, gradMB, ckptDataMB)
+}
+
+// shakeShake builds a Shake-Shake-family zoo entry from its
+// complexity. Gradient and checkpoint sizes grow much more slowly with
+// complexity than for ResNet (wide models re-use filters over many
+// positions), fitted through the Small and Big canonical points:
+// single-PS capacity ≈32 updates/s (Small, plateau past four workers
+// in Fig. 4) and ≈17 updates/s (Big), with Big's checkpoint at
+// Fig. 5's ≈200 MB maximum.
+func shakeShake(name string, widthFactor int, gflops float64) Model {
+	gradMB := 1.720*gflops + 32.75
+	ckptDataMB := 5.29*gflops + 82.2
+	tensors := 160 + int(3*gflops)
+	return finish(Model{
+		Name:        name,
+		Family:      ShakeShake,
+		WidthFactor: widthFactor,
+		GFLOPs:      round3(gflops),
+		Tensors:     tensors,
+	}, gradMB, ckptDataMB)
+}
+
+// finish derives the byte fields shared by both families. Gradient
+// bytes (the parameter-server wire format) and checkpoint bytes (the
+// storage format, which adds optimizer slots and graph metadata) are
+// calibrated independently; see DESIGN.md §4.
+func finish(m Model, gradMB, ckptDataMB float64) Model {
+	m.GradientBytes = int64(gradMB * 1e6)
+	m.CkptDataBytes = int64(ckptDataMB * 1e6)
+	m.CkptMetaBytes = int64(1.5*mb) + int64(m.Tensors)*20*1024
+	m.CkptIndexBytes = int64(m.Tensors) * 150
+	return m
+}
+
+func round3(x float64) float64 {
+	return float64(int(x*1000+0.5)) / 1000
+}
+
+// Canonical model constructors. The four models below are the ones the
+// paper names; Table I pins their step times and §IV their checkpoint
+// behavior.
+
+// ResNet15 returns the ResNet-15 zoo entry (0.59 GFLOPs).
+func ResNet15() Model { return resnet(15) }
+
+// ResNet32 returns the ResNet-32 zoo entry (1.54 GFLOPs).
+func ResNet32() Model { return resnet(32) }
+
+// ShakeShakeSmall returns the Shake-Shake Small entry (2.41 GFLOPs).
+func ShakeShakeSmall() Model { return shakeShake("ShakeShakeSmall", 32, 2.41) }
+
+// ShakeShakeBig returns the Shake-Shake Big entry (21.3 GFLOPs).
+func ShakeShakeBig() Model { return shakeShake("ShakeShakeBig", 96, 21.3) }
+
+// CanonicalModels returns the paper's four named models in Table I
+// order.
+func CanonicalModels() []Model {
+	return []Model{ResNet15(), ResNet32(), ShakeShakeSmall(), ShakeShakeBig()}
+}
+
+// Zoo returns all twenty models: the four canonical models plus
+// sixteen custom variants generated by varying depth (ResNet) and width
+// (Shake-Shake), mirroring the paper's methodology for populating the
+// regression datasets (§III-A).
+func Zoo() []Model {
+	models := make([]Model, 0, 20)
+	// ResNet depth sweep; 15 and 32 are the canonical entries.
+	for _, layers := range []int{9, 15, 21, 26, 32, 38, 44, 50, 56, 62} {
+		models = append(models, resnet(layers))
+	}
+	// Shake-Shake width sweep; Small (2.41) and Big (21.3) are
+	// canonical.
+	models = append(models,
+		ShakeShakeSmall(),
+		shakeShake("ShakeShake-w40", 40, 3.8),
+		shakeShake("ShakeShake-w46", 46, 5.1),
+		shakeShake("ShakeShake-w52", 52, 6.6),
+		shakeShake("ShakeShake-w58", 58, 8.4),
+		shakeShake("ShakeShake-w64", 64, 10.4),
+		shakeShake("ShakeShake-w72", 72, 12.7),
+		shakeShake("ShakeShake-w80", 80, 15.2),
+		shakeShake("ShakeShake-w88", 88, 18.1),
+		ShakeShakeBig(),
+	)
+	return models
+}
+
+// ByName returns the zoo model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("model: no zoo model named %q", name)
+}

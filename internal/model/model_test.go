@@ -1,0 +1,245 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooHasTwentyModels(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 20 {
+		t.Fatalf("Zoo has %d models, want 20 (paper §III-A)", len(zoo))
+	}
+	names := make(map[string]bool, len(zoo))
+	for _, m := range zoo {
+		if names[m.Name] {
+			t.Fatalf("duplicate model name %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{"ResNet-15", "ResNet-32", "ShakeShakeSmall", "ShakeShakeBig"} {
+		if !names[want] {
+			t.Fatalf("zoo missing canonical model %q", want)
+		}
+	}
+}
+
+func TestCanonicalGFLOPs(t *testing.T) {
+	// Table I lists the complexities of the four canonical models.
+	cases := []struct {
+		m    Model
+		want float64
+	}{
+		{ResNet15(), 0.59},
+		{ResNet32(), 1.54},
+		{ShakeShakeSmall(), 2.41},
+		{ShakeShakeBig(), 21.3},
+	}
+	for _, tc := range cases {
+		if math.Abs(tc.m.GFLOPs-tc.want) > 0.02 {
+			t.Errorf("%s GFLOPs = %v, want ≈%v", tc.m.Name, tc.m.GFLOPs, tc.want)
+		}
+	}
+}
+
+func TestZooFieldsArePositiveAndMonotone(t *testing.T) {
+	for _, m := range Zoo() {
+		if m.GFLOPs <= 0 || m.GradientBytes <= 0 || m.Tensors <= 0 {
+			t.Errorf("%s has non-positive core fields: %+v", m.Name, m)
+		}
+		if m.CkptDataBytes <= 0 || m.CkptMetaBytes <= 0 || m.CkptIndexBytes <= 0 {
+			t.Errorf("%s has non-positive checkpoint sizes", m.Name)
+		}
+		if m.CheckpointBytes() != m.CkptDataBytes+m.CkptMetaBytes+m.CkptIndexBytes {
+			t.Errorf("%s CheckpointBytes is not the sum of its parts", m.Name)
+		}
+	}
+}
+
+func TestCheckpointSizesWithinFigure5Range(t *testing.T) {
+	// Fig. 5's x axis spans roughly 0–210 MB across the twenty models.
+	const mbF = float64(1 << 20)
+	var maxSc float64
+	for _, m := range Zoo() {
+		sc := float64(m.CheckpointBytes()) / mbF
+		if sc > maxSc {
+			maxSc = sc
+		}
+		if sc < 5 || sc > 215 {
+			t.Errorf("%s checkpoint %0.1f MB outside Fig. 5's plausible range", m.Name, sc)
+		}
+	}
+	big := float64(ShakeShakeBig().CheckpointBytes()) / mbF
+	if big != maxSc {
+		t.Errorf("ShakeShakeBig (%0.1f MB) should be the largest checkpoint (max %0.1f MB)", big, maxSc)
+	}
+}
+
+func TestResNetMonotoneInDepth(t *testing.T) {
+	prev := resnet(9)
+	for _, layers := range []int{15, 21, 26, 32, 38, 44, 50, 56, 62} {
+		cur := resnet(layers)
+		if cur.GFLOPs <= prev.GFLOPs {
+			t.Errorf("ResNet-%d GFLOPs %v not greater than ResNet-%d's %v",
+				layers, cur.GFLOPs, prev.Layers, prev.GFLOPs)
+		}
+		if cur.GradientBytes <= prev.GradientBytes {
+			t.Errorf("ResNet-%d gradient bytes not monotone", layers)
+		}
+		prev = cur
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("ResNet-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Layers != 32 || m.Family != ResNet {
+		t.Fatalf("ByName returned %+v", m)
+	}
+	if _, err := ByName("AlexNet"); err == nil {
+		t.Fatal("ByName of unknown model should error")
+	}
+}
+
+func TestGPUCatalog(t *testing.T) {
+	if len(AllGPUs()) != 3 {
+		t.Fatal("catalog must contain exactly three GPU types")
+	}
+	// Capacities from §III-A.
+	for _, tc := range []struct {
+		g      GPU
+		tflops float64
+	}{{K80, 4.11}, {P100, 9.53}, {V100, 14.13}} {
+		if got := Spec(tc.g).TFLOPS; got != tc.tflops {
+			t.Errorf("%v TFLOPS = %v, want %v", tc.g, got, tc.tflops)
+		}
+	}
+	if K80.String() != "K80" || !K80.Valid() {
+		t.Error("K80 stringer or validity broken")
+	}
+	if GPU(99).Valid() {
+		t.Error("GPU(99) should be invalid")
+	}
+}
+
+func TestHourlyPriceOrdering(t *testing.T) {
+	for _, g := range AllGPUs() {
+		if HourlyPrice(g, true) >= HourlyPrice(g, false) {
+			t.Errorf("%v transient price should undercut on-demand", g)
+		}
+	}
+	if HourlyPrice(V100, true) <= HourlyPrice(K80, true) {
+		t.Error("V100 should cost more than K80")
+	}
+}
+
+func TestStepTimeMatchesTableI(t *testing.T) {
+	// Table I, steps/second. The calibration must reproduce these
+	// exactly at the anchor complexities (tolerance covers rounding).
+	want := map[GPU][]float64{
+		K80:  {9.46, 4.56, 2.58, 0.70},
+		P100: {21.16, 12.19, 6.99, 1.98},
+		V100: {27.38, 15.61, 8.80, 2.18},
+	}
+	models := CanonicalModels()
+	for g, speeds := range want {
+		for i, wantSpeed := range speeds {
+			got := StepsPerSecond(g, models[i])
+			if math.Abs(got-wantSpeed)/wantSpeed > 0.01 {
+				t.Errorf("%v %s = %.2f steps/s, want %.2f", g, models[i].Name, got, wantSpeed)
+			}
+		}
+	}
+}
+
+func TestStepTimeMonotoneAcrossGPUs(t *testing.T) {
+	// A more capable GPU is never slower for the same model.
+	for _, m := range Zoo() {
+		k, p, v := StepTimeModel(K80, m), StepTimeModel(P100, m), StepTimeModel(V100, m)
+		if !(k > p && p > v) {
+			t.Errorf("%s step times not ordered K80 > P100 > V100: %v %v %v", m.Name, k, p, v)
+		}
+	}
+}
+
+func TestStepTimeExtrapolation(t *testing.T) {
+	// Below the smallest anchor the curve keeps decreasing but respects
+	// the per-GPU floor.
+	small := StepTime(K80, 0.1)
+	if small >= StepTime(K80, 0.59) {
+		t.Error("extrapolation below first anchor should be faster")
+	}
+	if tiny := StepTime(K80, 0.0001); tiny < minStepTime[K80] {
+		t.Errorf("step time %v below floor %v", tiny, minStepTime[K80])
+	}
+	// Above the largest anchor the segment extends.
+	if StepTime(K80, 30) <= StepTime(K80, 21.3) {
+		t.Error("extrapolation above last anchor should be slower")
+	}
+}
+
+func TestStepTimePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepTime with non-positive GFLOPs should panic")
+		}
+	}()
+	StepTime(K80, 0)
+}
+
+// Property: step time is monotone non-decreasing in model complexity
+// for every GPU.
+func TestQuickStepTimeMonotoneInComplexity(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		a := math.Abs(rawA)
+		b := math.Abs(rawB)
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Map into a sane complexity range (0, 50].
+		a = math.Mod(a, 50) + 0.001
+		b = math.Mod(b, 50) + 0.001
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		for _, g := range AllGPUs() {
+			if StepTime(g, lo) > StepTime(g, hi)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmupMultiplier(t *testing.T) {
+	if got := WarmupMultiplier(0); got != WarmupFactor {
+		t.Fatalf("WarmupMultiplier(0) = %v, want %v", got, WarmupFactor)
+	}
+	if got := WarmupMultiplier(WarmupSteps); got != 1 {
+		t.Fatalf("WarmupMultiplier(WarmupSteps) = %v, want 1", got)
+	}
+	if got := WarmupMultiplier(WarmupSteps * 10); got != 1 {
+		t.Fatalf("WarmupMultiplier far past warmup = %v, want 1", got)
+	}
+	// Strictly decreasing during warmup.
+	prev := WarmupMultiplier(0)
+	for s := int64(1); s <= WarmupSteps; s++ {
+		cur := WarmupMultiplier(s)
+		if cur > prev {
+			t.Fatalf("warmup multiplier increased at step %d", s)
+		}
+		prev = cur
+	}
+}
+
+func TestComputationRatio(t *testing.T) {
+	m := ResNet32()
+	want := m.GFLOPs / 4.11
+	if got := m.ComputationRatio(K80); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("ComputationRatio = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,240 @@
+// Package nn provides the small trainable model the live CM-DARE
+// cluster trains: multinomial logistic regression (softmax) with
+// real gradients on a synthetic CIFAR-10-like dataset (ten Gaussian
+// class clusters in feature space).
+//
+// The paper trains CNNs on CIFAR-10; the live runtime substitutes
+// this model so that the systems path — asynchronous gradient pushes,
+// parameter pulls, checkpoint files, chief takeover — runs real
+// learning end to end while staying CPU-friendly. The training
+// *performance* study uses the calibrated simulator instead
+// (internal/train); see DESIGN.md §2.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Dataset generates labeled samples from fixed Gaussian class
+// clusters, CIFAR-10-like in class count.
+type Dataset struct {
+	Classes  int
+	Features int
+	centers  [][]float64
+	noise    float64
+	rng      *stats.Rng
+}
+
+// NewDataset builds a dataset with the given shape. Separation
+// controls how far apart class centers sit relative to the noise;
+// values ≥ 2 give a problem a linear model can almost fully solve,
+// letting tests assert convergence.
+func NewDataset(classes, features int, separation float64, seed int64) (*Dataset, error) {
+	if classes < 2 || features < 1 {
+		return nil, fmt.Errorf("nn: dataset needs ≥2 classes and ≥1 feature, got %d/%d", classes, features)
+	}
+	if separation <= 0 {
+		return nil, fmt.Errorf("nn: separation must be positive")
+	}
+	rng := stats.NewRng(seed)
+	ds := &Dataset{Classes: classes, Features: features, noise: 1, rng: rng}
+	for c := 0; c < classes; c++ {
+		center := make([]float64, features)
+		for f := range center {
+			center[f] = rng.Normal(0, separation)
+		}
+		ds.centers = append(ds.centers, center)
+	}
+	return ds, nil
+}
+
+// Batch is one mini-batch of samples.
+type Batch struct {
+	X      [][]float64
+	Labels []int
+}
+
+// Sample draws a mini-batch.
+func (d *Dataset) Sample(n int) Batch {
+	b := Batch{X: make([][]float64, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		c := d.rng.Intn(d.Classes)
+		x := make([]float64, d.Features)
+		for f := range x {
+			x[f] = d.centers[c][f] + d.rng.Normal(0, d.noise)
+		}
+		b.X[i] = x
+		b.Labels[i] = c
+	}
+	return b
+}
+
+// Model is a softmax classifier W ∈ ℝ^{classes × (features+1)} (the
+// +1 column is the bias).
+type Model struct {
+	Classes  int
+	Features int
+	// W is stored flat, row-major: class c's weights occupy
+	// W[c*(Features+1) : (c+1)*(Features+1)].
+	W []float64
+}
+
+// NewModel returns a zero-initialized model (softmax regression is
+// convex; zero init is fine and deterministic).
+func NewModel(classes, features int) (*Model, error) {
+	if classes < 2 || features < 1 {
+		return nil, fmt.Errorf("nn: model needs ≥2 classes and ≥1 feature")
+	}
+	return &Model{
+		Classes:  classes,
+		Features: features,
+		W:        make([]float64, classes*(features+1)),
+	}, nil
+}
+
+// ParamCount returns the number of parameters (the flat W length).
+func (m *Model) ParamCount() int { return len(m.W) }
+
+// row returns class c's weight slice.
+func (m *Model) row(c int) []float64 {
+	stride := m.Features + 1
+	return m.W[c*stride : (c+1)*stride]
+}
+
+// logits computes the per-class scores for one sample.
+func (m *Model) logits(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		w := m.row(c)
+		s := w[m.Features] // bias
+		for f, v := range x {
+			s += w[f] * v
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// softmax converts logits to probabilities in place.
+func softmax(logits []float64) {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		logits[i] = e
+		sum += e
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+}
+
+// Predict returns the most likely class for one sample.
+func (m *Model) Predict(x []float64) int {
+	logits := m.logits(x)
+	best := 0
+	for c, v := range logits {
+		if v > logits[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Loss returns the mean cross-entropy over the batch.
+func (m *Model) Loss(b Batch) float64 {
+	if len(b.X) == 0 {
+		return 0
+	}
+	var total float64
+	for i, x := range b.X {
+		probs := m.logits(x)
+		softmax(probs)
+		p := probs[b.Labels[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return total / float64(len(b.X))
+}
+
+// Accuracy returns the fraction of the batch classified correctly.
+func (m *Model) Accuracy(b Batch) float64 {
+	if len(b.X) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, x := range b.X {
+		if m.Predict(x) == b.Labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(b.X))
+}
+
+// Gradient returns the mean cross-entropy gradient with respect to W,
+// flat with the same layout as W.
+func (m *Model) Gradient(b Batch) []float64 {
+	grad := make([]float64, len(m.W))
+	if len(b.X) == 0 {
+		return grad
+	}
+	stride := m.Features + 1
+	for i, x := range b.X {
+		probs := m.logits(x)
+		softmax(probs)
+		for c := 0; c < m.Classes; c++ {
+			delta := probs[c]
+			if c == b.Labels[i] {
+				delta -= 1
+			}
+			base := c * stride
+			for f, v := range x {
+				grad[base+f] += delta * v
+			}
+			grad[base+m.Features] += delta // bias
+		}
+	}
+	inv := 1 / float64(len(b.X))
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return grad
+}
+
+// ApplyGradient performs one SGD update W ← W − lr·grad. It panics on
+// a shape mismatch: pushing a gradient of the wrong size means the
+// cluster is misconfigured, and silently truncating would corrupt the
+// model.
+func (m *Model) ApplyGradient(grad []float64, lr float64) {
+	if len(grad) != len(m.W) {
+		panic(fmt.Sprintf("nn: gradient length %d, model has %d parameters", len(grad), len(m.W)))
+	}
+	for i, g := range grad {
+		m.W[i] -= lr * g
+	}
+}
+
+// SetParams replaces the model's parameters (a parameter pull).
+func (m *Model) SetParams(w []float64) {
+	if len(w) != len(m.W) {
+		panic(fmt.Sprintf("nn: params length %d, model has %d parameters", len(w), len(m.W)))
+	}
+	copy(m.W, w)
+}
+
+// Params returns a copy of the flat parameter vector.
+func (m *Model) Params() []float64 {
+	out := make([]float64, len(m.W))
+	copy(out, m.W)
+	return out
+}

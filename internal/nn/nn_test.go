@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(1, 4, 2, 1); err == nil {
+		t.Error("one class should error")
+	}
+	if _, err := NewDataset(3, 0, 2, 1); err == nil {
+		t.Error("zero features should error")
+	}
+	if _, err := NewDataset(3, 4, 0, 1); err == nil {
+		t.Error("zero separation should error")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	ds, err := NewDataset(10, 16, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ds.Sample(32)
+	if len(b.X) != 32 || len(b.Labels) != 32 {
+		t.Fatalf("batch sizes %d/%d", len(b.X), len(b.Labels))
+	}
+	for i, x := range b.X {
+		if len(x) != 16 {
+			t.Fatalf("sample %d has %d features", i, len(x))
+		}
+		if b.Labels[i] < 0 || b.Labels[i] >= 10 {
+			t.Fatalf("label %d out of range", b.Labels[i])
+		}
+	}
+}
+
+func TestSGDConvergesOnSeparableData(t *testing.T) {
+	ds, err := NewDataset(10, 16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Loss(ds.Sample(512))
+	for step := 0; step < 400; step++ {
+		batch := ds.Sample(64)
+		m.ApplyGradient(m.Gradient(batch), 0.1)
+	}
+	test := ds.Sample(512)
+	final := m.Loss(test)
+	if final >= initial/3 {
+		t.Fatalf("loss %.3f → %.3f: SGD did not converge", initial, final)
+	}
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Fatalf("accuracy = %.3f, want ≥0.9 on well-separated clusters", acc)
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	ds, err := NewDataset(3, 4, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random-ish starting point so gradients are non-trivial.
+	for i := range m.W {
+		m.W[i] = 0.1 * float64(i%7-3)
+	}
+	batch := ds.Sample(16)
+	grad := m.Gradient(batch)
+	const h = 1e-5
+	for _, idx := range []int{0, 3, 7, 11, 14} {
+		orig := m.W[idx]
+		m.W[idx] = orig + h
+		up := m.Loss(batch)
+		m.W[idx] = orig - h
+		down := m.Loss(batch)
+		m.W[idx] = orig
+		numeric := (up - down) / (2 * h)
+		if math.Abs(numeric-grad[idx]) > 1e-4 {
+			t.Errorf("grad[%d] = %v, finite difference %v", idx, grad[idx], numeric)
+		}
+	}
+}
+
+func TestApplyGradientPanicsOnShapeMismatch(t *testing.T) {
+	m, err := NewModel(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	m.ApplyGradient(make([]float64, 3), 0.1)
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	m, err := NewModel(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParamCount() != 4*9 {
+		t.Fatalf("ParamCount = %d, want 36", m.ParamCount())
+	}
+	w := m.Params()
+	w[0] = 42
+	if m.W[0] == 42 {
+		t.Fatal("Params must return a copy")
+	}
+	m.SetParams(w)
+	if m.W[0] != 42 {
+		t.Fatal("SetParams did not apply")
+	}
+}
+
+// Property: softmax probabilities from Loss's path are valid — loss is
+// finite and non-negative for arbitrary parameter settings.
+func TestQuickLossFiniteAndNonNegative(t *testing.T) {
+	ds, err := NewDataset(4, 3, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := ds.Sample(8)
+	f := func(raw []float64) bool {
+		m, err := NewModel(4, 3)
+		if err != nil {
+			return false
+		}
+		for i := range m.W {
+			if i < len(raw) {
+				v := raw[i]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return true
+				}
+				if v > 50 {
+					v = 50
+				}
+				if v < -50 {
+					v = -50
+				}
+				m.W[i] = v
+			}
+		}
+		loss := m.Loss(batch)
+		return loss >= 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a gradient step with a small learning rate does not
+// increase batch loss (convex objective, exact gradient).
+func TestQuickGradientDescends(t *testing.T) {
+	ds, err := NewDataset(3, 4, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		m, err := NewModel(3, 4)
+		if err != nil {
+			return false
+		}
+		batch := ds.Sample(32)
+		before := m.Loss(batch)
+		m.ApplyGradient(m.Gradient(batch), 0.01)
+		after := m.Loss(batch)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package profile implements CM-DARE's performance tracker: the
+// component that runs on every training server, logs training speed,
+// and feeds the performance profiler (paper Fig. 1, steps 4 and 7).
+//
+// It follows the paper's measurement methodology (§III-A): cluster
+// training speed is averaged over 100-step windows, and the first 100
+// steps are discarded as warm-up before computing steady-state
+// statistics.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// DefaultWindowSteps is the paper's speed-averaging window.
+const DefaultWindowSteps = 100
+
+// SpeedSample is the cluster training speed over one window.
+type SpeedSample struct {
+	// Step is the global step count at the end of the window.
+	Step int64
+	// Time is the simulation time (seconds) at the end of the window.
+	Time float64
+	// Speed is steps/second averaged over the window.
+	Speed float64
+}
+
+// Tracker aggregates per-step completions into windowed cluster speed
+// and per-worker step-time statistics.
+//
+// The zero value is not usable; construct with NewTracker.
+type Tracker struct {
+	window int64
+
+	started    bool
+	firstTime  float64
+	globalDone int64
+	windowTime float64
+	samples    []SpeedSample
+
+	perWorker map[string]*workerStats
+}
+
+type workerStats struct {
+	steps int64
+	// steady excludes each worker's first DefaultWindowSteps steps,
+	// matching the paper's discard-the-first-100 rule.
+	steady stats.Accumulator
+}
+
+// NewTracker returns a tracker with the given speed window in steps.
+func NewTracker(windowSteps int64) *Tracker {
+	if windowSteps <= 0 {
+		panic(fmt.Sprintf("profile: window must be positive, got %d", windowSteps))
+	}
+	return &Tracker{window: windowSteps, perWorker: make(map[string]*workerStats)}
+}
+
+// Begin marks the session start time so the first window's speed
+// accounts for the first step's duration. Calling Begin after steps
+// have been recorded is a programming error.
+func (t *Tracker) Begin(now float64) {
+	if t.started {
+		panic("profile: Begin after steps were recorded")
+	}
+	t.started = true
+	t.firstTime = now
+	t.windowTime = now
+}
+
+// RecordGlobalStep notes that the cluster completed one more global
+// step at simulation time now. Every window of steps emits one speed
+// sample. If Begin was not called, the first record's timestamp seeds
+// the window clock (losing that step's own duration).
+func (t *Tracker) RecordGlobalStep(now float64) {
+	if !t.started {
+		t.started = true
+		t.firstTime = now
+		t.windowTime = now
+	}
+	t.globalDone++
+	if t.globalDone%t.window == 0 {
+		elapsed := now - t.windowTime
+		speed := 0.0
+		if elapsed > 0 {
+			speed = float64(t.window) / elapsed
+		}
+		t.samples = append(t.samples, SpeedSample{Step: t.globalDone, Time: now, Speed: speed})
+		t.windowTime = now
+	}
+}
+
+// RecordWorkerStep notes that the named worker finished one step that
+// took duration seconds. Steps beyond the worker's warm-up feed its
+// steady-state step-time distribution.
+func (t *Tracker) RecordWorkerStep(worker string, duration float64) {
+	ws := t.perWorker[worker]
+	if ws == nil {
+		ws = &workerStats{}
+		t.perWorker[worker] = ws
+	}
+	ws.steps++
+	if ws.steps > DefaultWindowSteps {
+		ws.steady.Add(duration)
+	}
+}
+
+// GlobalSteps returns the number of global steps recorded.
+func (t *Tracker) GlobalSteps() int64 { return t.globalDone }
+
+// SpeedSeries returns the windowed speed samples in order (Fig. 2's
+// series).
+func (t *Tracker) SpeedSeries() []SpeedSample {
+	out := make([]SpeedSample, len(t.samples))
+	copy(out, t.samples)
+	return out
+}
+
+// SteadySpeed returns the mean windowed speed after discarding the
+// first window (the warm-up the paper excludes). It returns 0 if fewer
+// than two windows completed.
+func (t *Tracker) SteadySpeed() float64 {
+	if len(t.samples) < 2 {
+		return 0
+	}
+	var acc stats.Accumulator
+	for _, s := range t.samples[1:] {
+		acc.Add(s.Speed)
+	}
+	return acc.Mean()
+}
+
+// SteadySpeedCoV returns the coefficient of variation of the windowed
+// speed after warm-up; Fig. 2 reports a maximum of 0.02.
+func (t *Tracker) SteadySpeedCoV() float64 {
+	if len(t.samples) < 3 {
+		return 0
+	}
+	var acc stats.Accumulator
+	for _, s := range t.samples[1:] {
+		acc.Add(s.Speed)
+	}
+	return acc.CoV()
+}
+
+// Workers lists worker names seen, sorted for deterministic reports.
+func (t *Tracker) Workers() []string {
+	names := make([]string, 0, len(t.perWorker))
+	for name := range t.perWorker {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkerSteps returns the total steps completed by the named worker.
+func (t *Tracker) WorkerSteps(worker string) int64 {
+	ws := t.perWorker[worker]
+	if ws == nil {
+		return 0
+	}
+	return ws.steps
+}
+
+// WorkerStepTime returns the post-warm-up mean and standard deviation
+// of the named worker's step time (Table III's quantity). ok is false
+// if the worker has no post-warm-up steps.
+func (t *Tracker) WorkerStepTime(worker string) (mean, std float64, ok bool) {
+	ws := t.perWorker[worker]
+	if ws == nil || ws.steady.N() == 0 {
+		return 0, 0, false
+	}
+	return ws.steady.Mean(), ws.steady.Std(), true
+}

@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrackerWindowedSpeed(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Begin(0)
+	now := 0.0
+	for i := 0; i < 30; i++ {
+		now += 0.5 // 2 steps/second
+		tr.RecordGlobalStep(now)
+	}
+	samples := tr.SpeedSeries()
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	for _, s := range samples {
+		if math.Abs(s.Speed-2) > 1e-9 {
+			t.Fatalf("window speed = %v, want 2", s.Speed)
+		}
+	}
+	if samples[0].Step != 10 || samples[2].Step != 30 {
+		t.Fatalf("sample steps = %v, %v", samples[0].Step, samples[2].Step)
+	}
+	if tr.GlobalSteps() != 30 {
+		t.Fatalf("GlobalSteps = %d", tr.GlobalSteps())
+	}
+}
+
+func TestBeginAfterRecordPanics(t *testing.T) {
+	tr := NewTracker(10)
+	tr.RecordGlobalStep(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin after RecordGlobalStep should panic")
+		}
+	}()
+	tr.Begin(0)
+}
+
+func TestSteadySpeedDiscardsFirstWindow(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Begin(0)
+	now := 0.0
+	// First 10 steps are slow (warm-up), remaining 20 are fast.
+	for i := 0; i < 10; i++ {
+		now += 2
+		tr.RecordGlobalStep(now)
+	}
+	for i := 0; i < 20; i++ {
+		now += 0.1
+		tr.RecordGlobalStep(now)
+	}
+	if got := tr.SteadySpeed(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("SteadySpeed = %v, want 10 (warm-up window excluded)", got)
+	}
+	if cov := tr.SteadySpeedCoV(); cov > 1e-9 {
+		t.Fatalf("SteadySpeedCoV = %v, want 0 for constant speed", cov)
+	}
+}
+
+func TestSteadySpeedNeedsTwoWindows(t *testing.T) {
+	tr := NewTracker(100)
+	for i := 0; i < 150; i++ {
+		tr.RecordGlobalStep(float64(i))
+	}
+	if got := tr.SteadySpeed(); got != 0 {
+		t.Fatalf("SteadySpeed with one window = %v, want 0", got)
+	}
+}
+
+func TestWorkerStepTimeWarmupDiscard(t *testing.T) {
+	tr := NewTracker(100)
+	// 100 warm-up steps at 1 s, then 50 steady steps at 0.2 s.
+	for i := 0; i < 100; i++ {
+		tr.RecordWorkerStep("w0", 1.0)
+	}
+	for i := 0; i < 50; i++ {
+		tr.RecordWorkerStep("w0", 0.2)
+	}
+	mean, std, ok := tr.WorkerStepTime("w0")
+	if !ok {
+		t.Fatal("expected steady stats")
+	}
+	if math.Abs(mean-0.2) > 1e-9 || std > 1e-9 {
+		t.Fatalf("steady step time = %v ± %v, want 0.2 ± 0", mean, std)
+	}
+	if tr.WorkerSteps("w0") != 150 {
+		t.Fatalf("WorkerSteps = %d, want 150", tr.WorkerSteps("w0"))
+	}
+}
+
+func TestWorkerStepTimeUnknownWorker(t *testing.T) {
+	tr := NewTracker(100)
+	if _, _, ok := tr.WorkerStepTime("ghost"); ok {
+		t.Fatal("unknown worker should report ok=false")
+	}
+	tr.RecordWorkerStep("w1", 0.5) // still inside warm-up
+	if _, _, ok := tr.WorkerStepTime("w1"); ok {
+		t.Fatal("worker with only warm-up steps should report ok=false")
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	tr := NewTracker(100)
+	tr.RecordWorkerStep("w2", 1)
+	tr.RecordWorkerStep("w0", 1)
+	tr.RecordWorkerStep("w1", 1)
+	names := tr.Workers()
+	if len(names) != 3 || names[0] != "w0" || names[1] != "w1" || names[2] != "w2" {
+		t.Fatalf("Workers = %v", names)
+	}
+}
+
+func TestNewTrackerPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracker(0) should panic")
+		}
+	}()
+	NewTracker(0)
+}

@@ -1,0 +1,125 @@
+package regress
+
+import "fmt"
+
+// Linear is ordinary least-squares linear regression with intercept:
+// the paper's univariate (S = a·C + b) and multivariate
+// (S = a·Cm + b·Cgpu + c) step-time models, and models (i)–(iii) of
+// the checkpoint study.
+//
+// The zero value is ready to Fit.
+type Linear struct {
+	// Coef holds the fitted feature weights; Intercept the bias term.
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+var _ Regressor = (*Linear)(nil)
+
+// Fit solves the normal equations (XᵀX)β = Xᵀy with an intercept
+// column, using Gaussian elimination with partial pivoting. It returns
+// an error for degenerate inputs (empty, ragged, or singular —
+// e.g. a constant feature duplicated by the intercept).
+func (l *Linear) Fit(X [][]float64, y []float64) error {
+	n, d, err := checkMatrix(X, y)
+	if err != nil {
+		return err
+	}
+	if n < d+1 {
+		return fmt.Errorf("regress: %d samples cannot determine %d coefficients", n, d+1)
+	}
+	// Augmented design: intercept first.
+	dim := d + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	aty := make([]float64, dim)
+	row := make([]float64, dim)
+	for s := 0; s < n; s++ {
+		row[0] = 1
+		copy(row[1:], X[s])
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * y[s]
+		}
+	}
+	beta, err := solveLinearSystem(ata, aty)
+	if err != nil {
+		return err
+	}
+	l.Intercept = beta[0]
+	l.Coef = beta[1:]
+	l.fitted = true
+	return nil
+}
+
+// Predict returns the fitted linear combination.
+func (l *Linear) Predict(x []float64) float64 {
+	if !l.fitted {
+		panic("regress: Linear.Predict before Fit")
+	}
+	if len(x) != len(l.Coef) {
+		panic(fmt.Sprintf("regress: Predict with %d features, fitted with %d", len(x), len(l.Coef)))
+	}
+	out := l.Intercept
+	for i, c := range l.Coef {
+		out += c * x[i]
+	}
+	return out
+}
+
+// solveLinearSystem solves Ax = b by Gaussian elimination with partial
+// pivoting, mutating copies of its inputs.
+func solveLinearSystem(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Work on copies to keep the caller's accumulators intact.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	const tiny = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(m[pivot][col]) < tiny {
+			return nil, fmt.Errorf("regress: singular system (column %d)", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,219 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA projects centered data onto its top principal components. The
+// paper uses two-component PCA to decorrelate the three checkpoint
+// file sizes (data, meta, index) before linear regression (Table IV,
+// model iii).
+type PCA struct {
+	// Components is the requested output dimension.
+	Components int
+
+	means  []float64
+	basis  [][]float64 // Components rows × d columns
+	evals  []float64
+	fitted bool
+}
+
+// Fit learns the projection from rows X.
+func (p *PCA) Fit(X [][]float64) error {
+	n, d, err := checkMatrix(X, make([]float64, len(X)))
+	if err != nil {
+		return err
+	}
+	if p.Components <= 0 || p.Components > d {
+		return fmt.Errorf("regress: PCA components %d outside [1, %d]", p.Components, d)
+	}
+	if n < 2 {
+		return fmt.Errorf("regress: PCA needs at least two samples")
+	}
+	p.means = make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			p.means[j] += v
+		}
+	}
+	for j := range p.means {
+		p.means[j] /= float64(n)
+	}
+	// Covariance matrix.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range X {
+		for i := 0; i < d; i++ {
+			di := row[i] - p.means[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - p.means[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	evals, evecs := jacobiEigen(cov)
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return evals[idx[a]] > evals[idx[b]] })
+	p.basis = make([][]float64, p.Components)
+	p.evals = make([]float64, p.Components)
+	for c := 0; c < p.Components; c++ {
+		col := idx[c]
+		p.evals[c] = evals[col]
+		vec := make([]float64, d)
+		for r := 0; r < d; r++ {
+			vec[r] = evecs[r][col]
+		}
+		p.basis[c] = vec
+	}
+	p.fitted = true
+	return nil
+}
+
+// Transform projects one vector onto the fitted components.
+func (p *PCA) Transform(x []float64) []float64 {
+	if !p.fitted {
+		panic("regress: PCA.Transform before Fit")
+	}
+	if len(x) != len(p.means) {
+		panic(fmt.Sprintf("regress: Transform with %d features, fitted with %d", len(x), len(p.means)))
+	}
+	out := make([]float64, p.Components)
+	for c, vec := range p.basis {
+		var dot float64
+		for j := range x {
+			dot += (x[j] - p.means[j]) * vec[j]
+		}
+		out[c] = dot
+	}
+	return out
+}
+
+// TransformAll projects every row.
+func (p *PCA) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// ExplainedVariance returns the eigenvalues of the kept components.
+func (p *PCA) ExplainedVariance() []float64 {
+	out := make([]float64, len(p.evals))
+	copy(out, p.evals)
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi
+// rotation method, returning eigenvalues and the matrix of column
+// eigenvectors. The matrices here are tiny (d ≤ 3 in the paper's use),
+// where Jacobi is both simple and numerically excellent.
+func jacobiEigen(a [][]float64) (evals []float64, evecs [][]float64) {
+	d := len(a)
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = make([]float64, d)
+		copy(m[i], a[i])
+	}
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(m[p][q]) < 1e-18 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s, d)
+			}
+		}
+	}
+	evals = make([]float64, d)
+	for i := 0; i < d; i++ {
+		evals[i] = m[i][i]
+	}
+	return evals, v
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to m (two-sided) and v
+// (one-sided accumulation of eigenvectors).
+func rotate(m, v [][]float64, p, q int, c, s float64, d int) {
+	for k := 0; k < d; k++ {
+		mkp, mkq := m[k][p], m[k][q]
+		m[k][p] = c*mkp - s*mkq
+		m[k][q] = s*mkp + c*mkq
+	}
+	for k := 0; k < d; k++ {
+		mpk, mqk := m[p][k], m[q][k]
+		m[p][k] = c*mpk - s*mqk
+		m[q][k] = s*mpk + c*mqk
+	}
+	for k := 0; k < d; k++ {
+		vkp, vkq := v[k][p], v[k][q]
+		v[k][p] = c*vkp - s*vkq
+		v[k][q] = s*vkp + c*vkq
+	}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// PCARegressor chains PCA preprocessing with linear regression, the
+// paper's Table IV model (iii).
+type PCARegressor struct {
+	Components int
+
+	pca PCA
+	lin Linear
+}
+
+var _ Regressor = (*PCARegressor)(nil)
+
+// Fit learns the projection on X and the regression on the projected
+// features.
+func (p *PCARegressor) Fit(X [][]float64, y []float64) error {
+	p.pca = PCA{Components: p.Components}
+	if err := p.pca.Fit(X); err != nil {
+		return err
+	}
+	p.lin = Linear{}
+	return p.lin.Fit(p.pca.TransformAll(X), y)
+}
+
+// Predict projects and regresses.
+func (p *PCARegressor) Predict(x []float64) float64 {
+	return p.lin.Predict(p.pca.Transform(x))
+}

@@ -1,0 +1,79 @@
+package regress
+
+import "fmt"
+
+// MinMaxScaler rescales each feature to [0, 1] over the fitted range,
+// the paper's preprocessing for step-time features (§III-B; the paper
+// notes z-score standardization was rejected because the data is not
+// Gaussian).
+type MinMaxScaler struct {
+	mins, maxs []float64
+	fitted     bool
+}
+
+// Fit learns per-feature ranges.
+func (m *MinMaxScaler) Fit(X [][]float64) error {
+	n, d, err := checkMatrix(X, make([]float64, len(X)))
+	if err != nil {
+		return err
+	}
+	_ = n
+	m.mins = make([]float64, d)
+	m.maxs = make([]float64, d)
+	for j := 0; j < d; j++ {
+		m.mins[j] = X[0][j]
+		m.maxs[j] = X[0][j]
+	}
+	for _, row := range X {
+		for j, v := range row {
+			if v < m.mins[j] {
+				m.mins[j] = v
+			}
+			if v > m.maxs[j] {
+				m.maxs[j] = v
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Transform rescales one vector using the fitted ranges. Constant
+// features map to 0. Values outside the fitted range extrapolate
+// beyond [0, 1], which is what a deployed model sees on an unseen
+// larger CNN.
+func (m *MinMaxScaler) Transform(x []float64) []float64 {
+	if !m.fitted {
+		panic("regress: MinMaxScaler.Transform before Fit")
+	}
+	if len(x) != len(m.mins) {
+		panic(fmt.Sprintf("regress: Transform with %d features, fitted with %d", len(x), len(m.mins)))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := m.maxs[j] - m.mins[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = (v - m.mins[j]) / span
+	}
+	return out
+}
+
+// TransformAll rescales every row.
+func (m *MinMaxScaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Transform(row)
+	}
+	return out
+}
+
+// FitTransform fits and transforms in one call.
+func (m *MinMaxScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := m.Fit(X); err != nil {
+		return nil, err
+	}
+	return m.TransformAll(X), nil
+}

@@ -1,0 +1,197 @@
+// Package sim provides the discrete-event simulation kernel that the
+// cloud and training simulators run on: a virtual clock, an event
+// queue with deterministic ordering, and cancellable timers.
+//
+// The kernel is intentionally single-threaded. Determinism — the same
+// seed always producing the same measurement campaign — is a core
+// requirement for reproducing the paper's tables, and a single-threaded
+// event loop is the simplest way to guarantee it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Hours returns the time in hours.
+func (t Time) Hours() float64 { return float64(t) / 3600 }
+
+// HourOfDay returns the hour-of-day component in [0, 24), treating
+// simulation start as midnight. The cloud simulator offsets this per
+// region to model local time zones.
+func (t Time) HourOfDay() int {
+	h := int(math.Floor(float64(t)/3600)) % 24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// Event is a scheduled callback. Events are created by Kernel.At and
+// Kernel.After and may be cancelled until they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	e.canceled = true
+	e.fn = nil // release captured state promptly
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Kernel is the event loop. The zero value is a kernel at time 0 with
+// an empty queue, ready to use.
+type Kernel struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	fired uint64
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// FiredEvents returns how many events have executed, which tests use
+// to assert progress and detect runaway schedules.
+func (k *Kernel) FiredEvents() uint64 { return k.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it always indicates a logic error in a simulator
+// component, and firing such events "now" silently corrupts causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (k *Kernel) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+Time(d), fn)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock
+// to exactly t. Events scheduled after t remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, k.now))
+	}
+	for {
+		e := k.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		k.Step()
+	}
+	k.now = t
+}
+
+// peek returns the next uncancelled event without removing it, or nil.
+func (k *Kernel) peek() *Event {
+	for k.queue.Len() > 0 {
+		e := k.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, insertion sequence). The
+// sequence tie-break makes simultaneous events fire in scheduling
+// order, which keeps runs reproducible.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

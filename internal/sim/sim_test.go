@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	var k Kernel
+	var got []float64
+	k.At(3, func() { got = append(got, 3) })
+	k.At(1, func() { got = append(got, 1) })
+	k.At(2, func() { got = append(got, 2) })
+	k.Run()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", k.Now())
+	}
+}
+
+func TestTieBreakIsSchedulingOrder(t *testing.T) {
+	var k Kernel
+	var got []string
+	k.At(5, func() { got = append(got, "a") })
+	k.At(5, func() { got = append(got, "b") })
+	k.At(5, func() { got = append(got, "c") })
+	k.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("simultaneous events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var k Kernel
+	var at Time
+	k.At(10, func() {
+		k.After(2.5, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 12.5 {
+		t.Fatalf("After fired at %v, want 12.5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	e := k.At(1, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() should report true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.FiredEvents() != 0 {
+		t.Fatalf("FiredEvents = %d, want 0", k.FiredEvents())
+	}
+}
+
+func TestCancelOneOfSimultaneous(t *testing.T) {
+	var k Kernel
+	var got []string
+	k.At(1, func() { got = append(got, "keep1") })
+	e := k.At(1, func() { got = append(got, "drop") })
+	k.At(1, func() { got = append(got, "keep2") })
+	e.Cancel()
+	k.Run()
+	if len(got) != 2 || got[0] != "keep1" || got[1] != "keep2" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var k Kernel
+	k.At(5, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	var fired []float64
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		k.At(at, func() { fired = append(fired, float64(at)) })
+	}
+	k.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2", fired)
+	}
+	if k.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired %v", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var k Kernel
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", k.Now())
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want int
+	}{
+		{0, 0},
+		{3600, 1},
+		{3599, 0},
+		{Time(25 * 3600), 1},
+		{Time(24 * 3600), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.t.HourOfDay(); got != tc.want {
+			t.Errorf("HourOfDay(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestQuickFireOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var k Kernel
+		var fired []Time
+		var maxT Time
+		for _, d := range raw {
+			at := Time(float64(d) / 16.0)
+			if at > maxT {
+				maxT = at
+			}
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return len(raw) == 0 || k.Now() == maxT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	var k Kernel
+	s := NewServer(&k)
+	var done []string
+	// Two jobs submitted back to back at t=0: second waits for first.
+	finish1 := s.Submit(2, func() { done = append(done, "first") })
+	finish2 := s.Submit(3, func() { done = append(done, "second") })
+	if finish1 != 2 || finish2 != 5 {
+		t.Fatalf("finish times %v, %v; want 2, 5", finish1, finish2)
+	}
+	if got := s.QueueDelay(); got != 5 {
+		t.Fatalf("QueueDelay = %v, want 5", got)
+	}
+	k.Run()
+	if len(done) != 2 || done[0] != "first" || done[1] != "second" {
+		t.Fatalf("completion order %v", done)
+	}
+}
+
+func TestServerIdleBetweenJobs(t *testing.T) {
+	var k Kernel
+	s := NewServer(&k)
+	s.Submit(1, nil)
+	k.Run() // clock at 1
+	k.At(10, func() {
+		if got := s.Submit(2, func() {}); got != 12 {
+			t.Errorf("job after idle finished at %v, want 12", got)
+		}
+	})
+	k.Run() // clock at 12 once the second job completes
+	if s.Served() != 2 {
+		t.Fatalf("Served = %d, want 2", s.Served())
+	}
+	// Busy 3s of 12s total.
+	if u := s.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("Utilization = %v, want 0.25", u)
+	}
+}
+
+// Property: a server never completes jobs out of submission order and
+// total busy time never exceeds elapsed time.
+func TestQuickServerOrdering(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		var k Kernel
+		s := NewServer(&k)
+		var completions []int
+		for i, d := range raw {
+			i := i
+			s.Submit(float64(d)/8.0, func() { completions = append(completions, i) })
+		}
+		k.Run()
+		if len(completions) != len(raw) {
+			return false
+		}
+		for i := range completions {
+			if completions[i] != i {
+				return false
+			}
+		}
+		return s.Utilization() <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFRejectsEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("NewECDF(nil) should error")
+	}
+}
+
+func TestECDFEval(t *testing.T) {
+	e := MustECDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tc := range cases {
+		if got := e.Eval(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := MustECDF([]float64{10, 20, 30, 40})
+	if got := e.Quantile(0.25); got != 10 {
+		t.Fatalf("Quantile(0.25) = %v, want 10", got)
+	}
+	if got := e.Quantile(0.5); got != 20 {
+		t.Fatalf("Quantile(0.5) = %v, want 20", got)
+	}
+	if got := e.Quantile(1); got != 40 {
+		t.Fatalf("Quantile(1) = %v, want 40", got)
+	}
+	if got := e.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0) = %v, want 10", got)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := MustECDF([]float64{5, 5, 7})
+	xs, ps := e.Points()
+	if len(xs) != 2 || xs[0] != 5 || xs[1] != 7 {
+		t.Fatalf("Points xs = %v", xs)
+	}
+	if !almostEqual(ps[0], 2.0/3.0, 1e-12) || ps[1] != 1 {
+		t.Fatalf("Points ps = %v", ps)
+	}
+}
+
+// Property: ECDF evaluation is monotone non-decreasing and bounded in
+// [0, 1], and Eval(max) == 1.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(raw []float64, probeRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := MustECDF(xs)
+		if e.Eval(Max(xs)) != 1 {
+			return false
+		}
+		if math.IsNaN(probeRaw) || math.IsInf(probeRaw, 0) {
+			return true
+		}
+		p1 := e.Eval(probeRaw)
+		p2 := e.Eval(probeRaw + 1)
+		return p1 >= 0 && p2 <= 1 && p2 >= p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile and Eval are compatible: Eval(Quantile(p)) ≥ p.
+func TestQuickECDFQuantileRoundTrip(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Abs(pRaw)
+		p -= math.Floor(p) // into [0,1)
+		e := MustECDF(xs)
+		return e.Eval(e.Quantile(p)) >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

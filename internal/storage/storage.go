@@ -1,0 +1,204 @@
+// Package storage implements the checkpoint store the live cluster's
+// chief worker writes to — the "cloud storage" of the paper's Fig. 1.
+//
+// Each checkpoint mirrors TensorFlow's on-disk structure (§IV-A):
+// a data file with the raw variable values, an index file locating
+// tensors inside the data file, and a meta file describing the
+// training graph. Writes are atomic (temp file + rename) and a
+// manifest records the latest complete checkpoint, so a revocation
+// mid-write can never corrupt the restore path.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Meta describes the training session that produced a checkpoint —
+// the minimal analogue of TensorFlow's serialized graph.
+type Meta struct {
+	ModelName string `json:"model_name"`
+	Classes   int    `json:"classes"`
+	Features  int    `json:"features"`
+	Step      int64  `json:"step"`
+	// Chief records which worker wrote the checkpoint, which the
+	// takeover tests use to verify §II's step (8)–(9).
+	Chief string `json:"chief"`
+}
+
+// Store is a directory-backed checkpoint store.
+type Store struct {
+	dir string
+}
+
+// manifest records the latest durable checkpoint.
+type manifest struct {
+	LatestStep int64 `json:"latest_step"`
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) prefix(step int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("model.ckpt-%d", step))
+}
+
+// Save writes a checkpoint for the given step: data, index, and meta
+// files, then the manifest. The write is atomic with respect to
+// Latest/Load: a crash mid-save leaves the previous checkpoint
+// intact.
+func (s *Store) Save(params []float64, meta Meta) error {
+	if len(params) == 0 {
+		return fmt.Errorf("storage: refusing to save empty parameters")
+	}
+	prefix := s.prefix(meta.Step)
+
+	// Data file: little-endian float64s.
+	data := make([]byte, 8*len(params))
+	for i, p := range params {
+		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(p))
+	}
+	if err := atomicWrite(prefix+".data", data); err != nil {
+		return err
+	}
+
+	// Index file: tensor table (single flat tensor here, but the
+	// format carries name/offset/length like TensorFlow's).
+	index := []map[string]any{{
+		"tensor": "weights",
+		"offset": 0,
+		"count":  len(params),
+	}}
+	indexBytes, err := json.Marshal(index)
+	if err != nil {
+		return fmt.Errorf("storage: marshal index: %w", err)
+	}
+	if err := atomicWrite(prefix+".index", indexBytes); err != nil {
+		return err
+	}
+
+	// Meta file: session/graph description.
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal meta: %w", err)
+	}
+	if err := atomicWrite(prefix+".meta", metaBytes); err != nil {
+		return err
+	}
+
+	// Manifest last: the checkpoint becomes visible only once all
+	// three files are durable.
+	manifestBytes, err := json.Marshal(manifest{LatestStep: meta.Step})
+	if err != nil {
+		return fmt.Errorf("storage: marshal manifest: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.dir, "checkpoint"), manifestBytes)
+}
+
+// Latest returns the step of the newest complete checkpoint; ok is
+// false if the store is empty.
+func (s *Store) Latest() (step int64, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, "checkpoint"))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, false, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	return m.LatestStep, true, nil
+}
+
+// Load reads the checkpoint for the given step.
+func (s *Store) Load(step int64) ([]float64, Meta, error) {
+	prefix := s.prefix(step)
+	data, err := os.ReadFile(prefix + ".data")
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("storage: read data: %w", err)
+	}
+	if len(data)%8 != 0 {
+		return nil, Meta{}, fmt.Errorf("storage: data file length %d not a multiple of 8", len(data))
+	}
+	params := make([]float64, len(data)/8)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	metaBytes, err := os.ReadFile(prefix + ".meta")
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("storage: read meta: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, Meta{}, fmt.Errorf("storage: parse meta: %w", err)
+	}
+	return params, meta, nil
+}
+
+// LoadLatest restores the newest checkpoint; ok is false on an empty
+// store.
+func (s *Store) LoadLatest() (params []float64, meta Meta, ok bool, err error) {
+	step, ok, err := s.Latest()
+	if err != nil || !ok {
+		return nil, Meta{}, ok, err
+	}
+	params, meta, err = s.Load(step)
+	if err != nil {
+		return nil, Meta{}, false, err
+	}
+	return params, meta, true, nil
+}
+
+// FileSizes returns the data/index/meta sizes of a checkpoint — the
+// paper's Sd, Si, Sm features (§IV-A).
+func (s *Store) FileSizes(step int64) (data, index, meta int64, err error) {
+	prefix := s.prefix(step)
+	for _, f := range []struct {
+		suffix string
+		out    *int64
+	}{{".data", &data}, {".index", &index}, {".meta", &meta}} {
+		info, serr := os.Stat(prefix + f.suffix)
+		if serr != nil {
+			return 0, 0, 0, fmt.Errorf("storage: stat %s: %w", f.suffix, serr)
+		}
+		*f.out = info.Size()
+	}
+	return data, index, meta, nil
+}
+
+// atomicWrite writes bytes to path via a temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: rename to %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newStore(t)
+	params := []float64{1.5, -2.25, math.Pi, 0, 1e-300}
+	meta := Meta{ModelName: "softmax", Classes: 10, Features: 16, Step: 400, Chief: "worker-0"}
+	if err := s.Save(params, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := s.Load(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("loaded %d params, want %d", len(got), len(params))
+	}
+	for i := range params {
+		if got[i] != params[i] {
+			t.Fatalf("param %d = %v, want %v", i, got[i], params[i])
+		}
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+}
+
+func TestLatestTracksNewest(t *testing.T) {
+	s := newStore(t)
+	if _, ok, err := s.Latest(); err != nil || ok {
+		t.Fatalf("empty store Latest = ok=%v err=%v", ok, err)
+	}
+	for _, step := range []int64{100, 200, 300} {
+		if err := s.Save([]float64{float64(step)}, Meta{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step, ok, err := s.Latest()
+	if err != nil || !ok || step != 300 {
+		t.Fatalf("Latest = %d ok=%v err=%v, want 300", step, ok, err)
+	}
+	params, meta, ok, err := s.LoadLatest()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if params[0] != 300 || meta.Step != 300 {
+		t.Fatalf("LoadLatest returned step %d", meta.Step)
+	}
+	// Older checkpoints remain loadable.
+	old, _, err := s.Load(100)
+	if err != nil || old[0] != 100 {
+		t.Fatalf("old checkpoint unreadable: %v", err)
+	}
+}
+
+func TestSaveRejectsEmpty(t *testing.T) {
+	s := newStore(t)
+	if err := s.Save(nil, Meta{Step: 1}); err == nil {
+		t.Fatal("empty save should error")
+	}
+}
+
+func TestFileSizes(t *testing.T) {
+	s := newStore(t)
+	params := make([]float64, 1000)
+	if err := s.Save(params, Meta{Step: 7, ModelName: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	data, index, meta, err := s.FileSizes(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != 8000 {
+		t.Fatalf("data size = %d, want 8000", data)
+	}
+	if index <= 0 || meta <= 0 {
+		t.Fatalf("index/meta sizes = %d/%d, want positive", index, meta)
+	}
+}
+
+func TestLoadMissingStep(t *testing.T) {
+	s := newStore(t)
+	if _, _, err := s.Load(999); err == nil {
+		t.Fatal("loading a missing checkpoint should error")
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	s := newStore(t)
+	if err := s.Save([]float64{1}, Meta{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if match, _ := filepath.Match(".tmp-*", e.Name()); match {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// Property: any float64 vector round-trips bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	s := newStore(t)
+	step := int64(0)
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		step++
+		if err := s.Save(raw, Meta{Step: step}); err != nil {
+			return false
+		}
+		got, _, err := s.Load(step)
+		if err != nil || len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			// Compare bits so NaNs round-trip too.
+			if math.Float64bits(got[i]) != math.Float64bits(raw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRecordsCSV streams the revocation study's raw records as CSV,
+// the format the paper's public dataset uses.
+func (s *RevocationStudy) WriteRecordsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"gpu", "region", "stressed", "revoked", "lifetime_hours", "revocation_local_hour"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, rec := range s.Records {
+		row := []string{
+			rec.GPU.String(),
+			rec.Region.String(),
+			strconv.FormatBool(rec.Stressed),
+			strconv.FormatBool(rec.Revoked),
+			strconv.FormatFloat(rec.LifetimeHours, 'f', 4, 64),
+			strconv.Itoa(rec.RevocationLocalHour),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStartupCSV streams startup summaries as CSV.
+func WriteStartupCSV(w io.Writer, summaries []StartupSummary) error {
+	cw := csv.NewWriter(w)
+	header := []string{"gpu", "region", "tier", "n", "provisioning_s", "staging_s", "booting_s", "total_s", "total_std_s"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, s := range summaries {
+		row := []string{
+			s.GPU.String(),
+			s.Region.String(),
+			s.Tier.String(),
+			strconv.Itoa(s.N),
+			strconv.FormatFloat(s.MeanProvisioning, 'f', 2, 64),
+			strconv.FormatFloat(s.MeanStaging, 'f', 2, 64),
+			strconv.FormatFloat(s.MeanBooting, 'f', 2, 64),
+			strconv.FormatFloat(s.MeanTotal, 'f', 2, 64),
+			strconv.FormatFloat(s.StdTotal, 'f', 2, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

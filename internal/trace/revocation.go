@@ -1,0 +1,264 @@
+// Package trace implements CM-DARE's offline measurement campaigns
+// (§V): the twelve-day revocation study behind Table V and Figs. 8–9,
+// the startup-time study behind Fig. 6, and the post-revocation
+// acquisition study behind Fig. 7. Campaign outputs feed the
+// performance models in internal/core and can be exported as CSV.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// CampaignCell is one (GPU, region) batch of the revocation study,
+// matching a cell of Table V.
+type CampaignCell struct {
+	GPU    model.GPU
+	Region cloud.Region
+	// Servers to launch across the whole campaign.
+	Servers int
+}
+
+// PaperCampaign returns the paper's exact launch plan: 396 transient
+// GPU servers across twelve non-consecutive days (Table V's counts per
+// cell).
+func PaperCampaign() []CampaignCell {
+	return []CampaignCell{
+		{model.K80, cloud.USEast1, 30},
+		{model.K80, cloud.USCentral1, 48},
+		{model.K80, cloud.USWest1, 48},
+		{model.K80, cloud.EuropeWest1, 30},
+		{model.P100, cloud.USEast1, 30},
+		{model.P100, cloud.USCentral1, 30},
+		{model.P100, cloud.USWest1, 30},
+		{model.P100, cloud.EuropeWest1, 30},
+		{model.V100, cloud.USCentral1, 30},
+		{model.V100, cloud.USWest1, 30},
+		{model.V100, cloud.EuropeWest4, 30},
+		{model.V100, cloud.AsiaEast1, 30},
+	}
+}
+
+// ServerRecord is the outcome of one launched server.
+type ServerRecord struct {
+	GPU      model.GPU
+	Region   cloud.Region
+	Stressed bool
+	Revoked  bool
+	// LifetimeHours is time in Running state; survivors are censored
+	// at the 24 h cap.
+	LifetimeHours float64
+	// RevocationLocalHour is the region-local hour of day of the
+	// revocation; -1 for survivors.
+	RevocationLocalHour int
+}
+
+// RevocationStudy is the campaign result set.
+type RevocationStudy struct {
+	Records []ServerRecord
+}
+
+// RunRevocationStudy launches every cell's servers in batches spread
+// over the given number of (virtual) days — the paper uses twelve
+// non-consecutive days — and runs the simulation until every server
+// has ended. Half of each batch is stressed (CPU/memory/GPU load),
+// half idle, to test workload independence.
+func RunRevocationStudy(k *sim.Kernel, p *cloud.Provider, cells []CampaignCell, days int) (*RevocationStudy, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("trace: campaign needs positive days")
+	}
+	study := &RevocationStudy{}
+	for _, cell := range cells {
+		if !cloud.Offered(cell.Region, cell.GPU) {
+			return nil, fmt.Errorf("trace: %v not offered in %v", cell.GPU, cell.Region)
+		}
+		perDay := cell.Servers / days
+		extra := cell.Servers % days
+		launched := 0
+		for d := 0; d < days; d++ {
+			n := perDay
+			if d < extra {
+				n++
+			}
+			// Non-consecutive days: every other day, batches at a
+			// different hour each day so local-time effects are
+			// exercised.
+			dayStart := sim.Time(float64(d*2) * 24 * 3600)
+			batchAt := dayStart + sim.Time(float64((d*7)%24)*3600)
+			for i := 0; i < n; i++ {
+				cell := cell
+				stressed := (launched+i)%2 == 0
+				k.At(batchAt, func() {
+					// Requests were validated against the offering
+					// above; a launch failure here is a bug.
+					p.MustLaunch(cloud.Request{
+						Region:   cell.Region,
+						GPU:      cell.GPU,
+						Tier:     cloud.Transient,
+						Stressed: stressed,
+					})
+				})
+			}
+			launched += n
+		}
+	}
+	k.Run()
+	for _, in := range p.Instances() {
+		if in.GPU == 0 {
+			continue
+		}
+		rec := ServerRecord{
+			GPU:                 in.GPU,
+			Region:              in.Region,
+			Stressed:            in.Stressed,
+			Revoked:             in.WasRevoked(),
+			LifetimeHours:       in.LifetimeSeconds(k.Now()) / 3600,
+			RevocationLocalHour: -1,
+		}
+		if in.WasRevoked() {
+			rec.RevocationLocalHour = in.Region.LocalHour(in.EndedAt.Hours())
+		}
+		study.Records = append(study.Records, rec)
+	}
+	return study, nil
+}
+
+// CellSummary aggregates one Table V cell.
+type CellSummary struct {
+	GPU      model.GPU
+	Region   cloud.Region
+	Launched int
+	Revoked  int
+}
+
+// Fraction returns the cell's revocation rate.
+func (c CellSummary) Fraction() float64 {
+	if c.Launched == 0 {
+		return 0
+	}
+	return float64(c.Revoked) / float64(c.Launched)
+}
+
+// TableV aggregates the study into Table V's cells, ordered by GPU
+// then region.
+func (s *RevocationStudy) TableV() []CellSummary {
+	type key struct {
+		g model.GPU
+		r cloud.Region
+	}
+	agg := make(map[key]*CellSummary)
+	for _, rec := range s.Records {
+		k := key{rec.GPU, rec.Region}
+		c := agg[k]
+		if c == nil {
+			c = &CellSummary{GPU: rec.GPU, Region: rec.Region}
+			agg[k] = c
+		}
+		c.Launched++
+		if rec.Revoked {
+			c.Revoked++
+		}
+	}
+	out := make([]CellSummary, 0, len(agg))
+	for _, c := range agg {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GPU != out[j].GPU {
+			return out[i].GPU < out[j].GPU
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// Totals returns per-GPU launched/revoked counts (Table V's last row).
+func (s *RevocationStudy) Totals() map[model.GPU]CellSummary {
+	out := make(map[model.GPU]CellSummary)
+	for _, rec := range s.Records {
+		c := out[rec.GPU]
+		c.GPU = rec.GPU
+		c.Launched++
+		if rec.Revoked {
+			c.Revoked++
+		}
+		out[rec.GPU] = c
+	}
+	return out
+}
+
+// LifetimeCDF returns the empirical CDF of lifetimes for one cell,
+// conditional on revocation (Fig. 8's curves). ok is false if the cell
+// has no revocations.
+func (s *RevocationStudy) LifetimeCDF(g model.GPU, r cloud.Region) (*stats.ECDF, bool) {
+	var lifetimes []float64
+	for _, rec := range s.Records {
+		if rec.GPU == g && rec.Region == r && rec.Revoked {
+			lifetimes = append(lifetimes, rec.LifetimeHours)
+		}
+	}
+	if len(lifetimes) == 0 {
+		return nil, false
+	}
+	return stats.MustECDF(lifetimes), true
+}
+
+// CensoredLifetimes returns all lifetimes for a cell with survivors
+// censored at 24 h — the input Eq. 5's revocation estimator wants.
+func (s *RevocationStudy) CensoredLifetimes(g model.GPU, r cloud.Region) []float64 {
+	var out []float64
+	for _, rec := range s.Records {
+		if rec.GPU == g && rec.Region == r {
+			out = append(out, rec.LifetimeHours)
+		}
+	}
+	return out
+}
+
+// MeanTimeToRevocation returns the mean lifetime of revoked servers in
+// a cell (§V-C's MTTR). ok is false with no revocations.
+func (s *RevocationStudy) MeanTimeToRevocation(g model.GPU, r cloud.Region) (float64, bool) {
+	var acc stats.Accumulator
+	for _, rec := range s.Records {
+		if rec.GPU == g && rec.Region == r && rec.Revoked {
+			acc.Add(rec.LifetimeHours)
+		}
+	}
+	if acc.N() == 0 {
+		return 0, false
+	}
+	return acc.Mean(), true
+}
+
+// HourHistogram returns revocations by local hour of day for one GPU
+// type across all regions (Fig. 9).
+func (s *RevocationStudy) HourHistogram(g model.GPU) *stats.HourHistogram {
+	var h stats.HourHistogram
+	for _, rec := range s.Records {
+		if rec.GPU == g && rec.Revoked {
+			h.Add(rec.RevocationLocalHour)
+		}
+	}
+	return &h
+}
+
+// WorkloadSplit returns revocation counts for idle and stressed
+// servers (Table V's workload-independence observation).
+func (s *RevocationStudy) WorkloadSplit() (idleRevoked, stressedRevoked int) {
+	for _, rec := range s.Records {
+		if !rec.Revoked {
+			continue
+		}
+		if rec.Stressed {
+			stressedRevoked++
+		} else {
+			idleRevoked++
+		}
+	}
+	return idleRevoked, stressedRevoked
+}

@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newEnv(seed int64) (*sim.Kernel, *cloud.Provider) {
+	k := &sim.Kernel{}
+	return k, cloud.NewProvider(k, stats.NewRng(seed))
+}
+
+func runPaperStudy(t *testing.T, seed int64) *RevocationStudy {
+	t.Helper()
+	k, p := newEnv(seed)
+	study, err := RunRevocationStudy(k, p, PaperCampaign(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study
+}
+
+func TestRevocationStudyCounts(t *testing.T) {
+	study := runPaperStudy(t, 1)
+	if len(study.Records) != 396 {
+		t.Fatalf("records = %d, want 396 (Table V)", len(study.Records))
+	}
+	totals := study.Totals()
+	if totals[model.K80].Launched != 156 {
+		t.Errorf("K80 launched = %d, want 156", totals[model.K80].Launched)
+	}
+	if totals[model.P100].Launched != 120 || totals[model.V100].Launched != 120 {
+		t.Errorf("P100/V100 launched = %d/%d, want 120/120",
+			totals[model.P100].Launched, totals[model.V100].Launched)
+	}
+	// Overall revocation rates should land near Table V's totals
+	// (46.15%, 54.17%, 57.5%). With n≈120–156 allow generous noise.
+	for g, want := range map[model.GPU]float64{
+		model.K80:  0.4615,
+		model.P100: 0.5417,
+		model.V100: 0.575,
+	} {
+		got := totals[g].Fraction()
+		if math.Abs(got-want) > 0.13 {
+			t.Errorf("%v revocation fraction = %.3f, want ≈%.3f", g, got, want)
+		}
+	}
+}
+
+func TestRevocationStudyCells(t *testing.T) {
+	study := runPaperStudy(t, 2)
+	cells := study.TableV()
+	if len(cells) != 12 {
+		t.Fatalf("cells = %d, want 12", len(cells))
+	}
+	// The calibration's most extreme cells should order correctly
+	// even with small-sample noise: us-west1 K80 (22.9%) well below
+	// europe-west1 K80 (66.7%).
+	var usWest, euWest CellSummary
+	for _, c := range cells {
+		if c.GPU == model.K80 && c.Region == cloud.USWest1 {
+			usWest = c
+		}
+		if c.GPU == model.K80 && c.Region == cloud.EuropeWest1 {
+			euWest = c
+		}
+	}
+	if usWest.Launched != 48 || euWest.Launched != 30 {
+		t.Fatalf("cell sizes %d/%d, want 48/30", usWest.Launched, euWest.Launched)
+	}
+	if usWest.Fraction() >= euWest.Fraction() {
+		t.Errorf("us-west1 K80 rate %.2f should be well below europe-west1 %.2f",
+			usWest.Fraction(), euWest.Fraction())
+	}
+}
+
+func TestLifetimeCDFShapes(t *testing.T) {
+	study := runPaperStudy(t, 3)
+	// Fig. 8a: europe-west1 K80 front-loaded, us-west1 K80 back-loaded.
+	eu, ok := study.LifetimeCDF(model.K80, cloud.EuropeWest1)
+	if !ok {
+		t.Fatal("no europe-west1 K80 revocations")
+	}
+	us, ok := study.LifetimeCDF(model.K80, cloud.USWest1)
+	if !ok {
+		t.Fatal("no us-west1 K80 revocations")
+	}
+	if eu.Eval(2) < 0.3 {
+		t.Errorf("europe-west1 K80 P(≤2h) = %.2f, want front-loaded (≥0.3)", eu.Eval(2))
+	}
+	if us.Eval(2) > 0.25 {
+		t.Errorf("us-west1 K80 P(≤2h) = %.2f, want back-loaded (≤0.25)", us.Eval(2))
+	}
+}
+
+func TestMeanTimeToRevocation(t *testing.T) {
+	study := runPaperStudy(t, 4)
+	// §V-C: V100 pools die young (us-central1 ≈7.7 h MTTR); us-west1
+	// K80 lives long (≈19.8 h among revoked... our calibration ≈15–20).
+	v100, ok := study.MeanTimeToRevocation(model.V100, cloud.USCentral1)
+	if !ok {
+		t.Fatal("no V100 us-central1 revocations")
+	}
+	k80, ok := study.MeanTimeToRevocation(model.K80, cloud.USWest1)
+	if !ok {
+		t.Skip("no us-west1 K80 revocations this seed")
+	}
+	if v100 >= k80 {
+		t.Errorf("V100 MTTR %.1f h should be well below us-west1 K80 %.1f h", v100, k80)
+	}
+	if v100 > 14 {
+		t.Errorf("V100 us-central1 MTTR = %.1f h, want young (≲14)", v100)
+	}
+}
+
+func TestHourHistogramPatterns(t *testing.T) {
+	// Aggregate several campaign seeds so hour-of-day structure
+	// dominates sampling noise.
+	var k80Hist, v100Hist stats.HourHistogram
+	for seed := int64(10); seed < 16; seed++ {
+		study := runPaperStudy(t, seed)
+		for h, c := range study.HourHistogram(model.K80).Counts {
+			for i := 0; i < c; i++ {
+				k80Hist.Add(h)
+			}
+		}
+		for h, c := range study.HourHistogram(model.V100).Counts {
+			for i := 0; i < c; i++ {
+				v100Hist.Add(h)
+			}
+		}
+	}
+	// Fig. 9a: K80 peaks in the morning surge (09:00–11:00).
+	peak, _ := k80Hist.Peak()
+	if peak < 8 || peak > 11 {
+		t.Errorf("K80 revocation peak hour = %d, want 8–11 (Fig. 9a)", peak)
+	}
+	// Fig. 9c: V100 quiet 16:00–20:00.
+	quiet := v100Hist.Counts[16] + v100Hist.Counts[17] + v100Hist.Counts[18] + v100Hist.Counts[19]
+	if total := v100Hist.Total(); total > 0 {
+		frac := float64(quiet) / float64(total)
+		if frac > 0.03 {
+			t.Errorf("V100 16–20h revocation fraction = %.3f, want ≈0", frac)
+		}
+	}
+}
+
+func TestWorkloadIndependence(t *testing.T) {
+	study := runPaperStudy(t, 5)
+	idle, stressed := study.WorkloadSplit()
+	total := idle + stressed
+	if total == 0 {
+		t.Fatal("no revocations at all")
+	}
+	frac := float64(idle) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("idle share of revocations = %.2f, want ≈0.5 (Table V)", frac)
+	}
+}
+
+func TestCensoredLifetimes(t *testing.T) {
+	study := runPaperStudy(t, 6)
+	lt := study.CensoredLifetimes(model.K80, cloud.USWest1)
+	if len(lt) != 48 {
+		t.Fatalf("censored lifetimes = %d, want 48", len(lt))
+	}
+	for _, h := range lt {
+		if h <= 0 || h > 24.01 {
+			t.Fatalf("lifetime %v h outside (0, 24]", h)
+		}
+	}
+}
+
+func TestRevocationStudyValidation(t *testing.T) {
+	k, p := newEnv(7)
+	if _, err := RunRevocationStudy(k, p, PaperCampaign(), 0); err == nil {
+		t.Error("zero days should error")
+	}
+	bad := []CampaignCell{{GPU: model.V100, Region: cloud.USEast1, Servers: 3}}
+	if _, err := RunRevocationStudy(k, p, bad, 1); err == nil {
+		t.Error("unoffered cell should error")
+	}
+}
+
+func TestStartupStudyFigure6(t *testing.T) {
+	k, p := newEnv(8)
+	sums, err := RunStartupStudy(k, p,
+		[]model.GPU{model.K80, model.P100},
+		[]cloud.Tier{cloud.Transient, cloud.OnDemand},
+		[]cloud.Region{cloud.USEast1, cloud.USWest1},
+		30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 8 {
+		t.Fatalf("summaries = %d, want 8", len(sums))
+	}
+	byKey := make(map[string]StartupSummary)
+	for _, s := range sums {
+		byKey[s.GPU.String()+"/"+s.Tier.String()+"/"+s.Region.String()] = s
+	}
+	k80T := byKey["K80/transient/us-east1"]
+	k80O := byKey["K80/on-demand/us-east1"]
+	p100T := byKey["P100/transient/us-east1"]
+	if k80T.MeanTotal >= 100 {
+		t.Errorf("transient K80 startup %.1f s, want < 100 (§V-B)", k80T.MeanTotal)
+	}
+	if d := k80T.MeanTotal - k80O.MeanTotal; d < 5 || d > 18 {
+		t.Errorf("K80 transient minus on-demand = %.1f s, want ≈11", d)
+	}
+	if p100T.MeanTotal <= k80T.MeanTotal {
+		t.Error("transient P100 should start slower than transient K80")
+	}
+	if p100T.MeanStaging <= k80O.MeanStaging {
+		t.Error("transient P100 staging should dominate its slowdown")
+	}
+	if k80T.N != 30 {
+		t.Errorf("sample count = %d, want 30", k80T.N)
+	}
+}
+
+func TestStartupStudyValidation(t *testing.T) {
+	k, p := newEnv(9)
+	if _, err := RunStartupStudy(k, p, []model.GPU{model.V100}, []cloud.Tier{cloud.Transient}, []cloud.Region{cloud.USEast1}, 5); err == nil {
+		t.Error("unoffered placement should error")
+	}
+	if _, err := RunStartupStudy(k, p, []model.GPU{model.K80}, []cloud.Tier{cloud.Transient}, []cloud.Region{cloud.USEast1}, 0); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+func TestPostRevocationStudyFigure7(t *testing.T) {
+	run := func(timing AcquisitionTiming, seed int64) map[model.GPU]PostRevocationResult {
+		k, p := newEnv(seed)
+		res, err := RunPostRevocationStudy(k, p, timing, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[model.GPU]PostRevocationResult)
+		for _, r := range res {
+			out[r.Requested] = r
+		}
+		return out
+	}
+	imm := run(Immediate, 10)
+	del := run(Delayed, 10)
+	for _, g := range model.AllGPUs() {
+		i, d := imm[g], del[g]
+		if i.N < 10 || d.N < 10 {
+			t.Fatalf("%v too few probes: immediate %d, delayed %d", g, i.N, d.N)
+		}
+		// Fig. 7: means within ≈4 s; immediate CoV several times the
+		// delayed CoV.
+		if math.Abs(i.MeanTotal-d.MeanTotal) > 6 {
+			t.Errorf("%v immediate mean %.1f vs delayed %.1f differ beyond Fig. 7", g, i.MeanTotal, d.MeanTotal)
+		}
+		if i.CoVTotal < 1.5*d.CoVTotal {
+			t.Errorf("%v immediate CoV %.3f should exceed delayed CoV %.3f clearly", g, i.CoVTotal, d.CoVTotal)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	study := runPaperStudy(t, 11)
+	var buf bytes.Buffer
+	if err := study.WriteRecordsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 397 { // header + 396 records
+		t.Fatalf("CSV lines = %d, want 397", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "gpu,region,stressed,revoked") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+
+	k, p := newEnv(12)
+	sums, err := RunStartupStudy(k, p, []model.GPU{model.K80}, []cloud.Tier{cloud.Transient}, []cloud.Region{cloud.USEast1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteStartupCSV(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 2 {
+		t.Fatalf("startup CSV lines = %d, want 2", got)
+	}
+}

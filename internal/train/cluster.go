@@ -1,0 +1,368 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// EventKind labels entries in the cluster's session timeline.
+type EventKind int
+
+const (
+	// EventCheckpoint: the chief finished writing a checkpoint.
+	EventCheckpoint EventKind = iota + 1
+	// EventRevocation: a worker was revoked / killed.
+	EventRevocation
+	// EventJoin: a (replacement) worker joined and started training.
+	EventJoin
+	// EventRollback: the session restarted from the last checkpoint
+	// (unmodified TensorFlow's chief-IP-reuse behavior, §V-E).
+	EventRollback
+	// EventChiefHandoff: checkpoint duty moved to another worker
+	// (CM-DARE's transient-TensorFlow behavior).
+	EventChiefHandoff
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventRevocation:
+		return "revocation"
+	case EventJoin:
+		return "join"
+	case EventRollback:
+		return "rollback"
+	case EventChiefHandoff:
+		return "chief-handoff"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Kind   EventKind
+	Time   float64 // simulation seconds
+	Step   int64   // global step at the time
+	Worker string
+}
+
+// Cluster is one asynchronous parameter-server training session on the
+// simulation kernel. It is not safe for concurrent use; all methods
+// must run on the simulation thread.
+type Cluster struct {
+	k   *sim.Kernel
+	rng *stats.Rng
+	cfg Config
+
+	shards  []*sim.Server
+	workers map[string]*Worker
+	order   []string
+	chief   string
+	// chiefHandoff selects CM-DARE's behavior (true: checkpoint duty
+	// moves to a surviving worker when the chief is revoked) versus
+	// unmodified TensorFlow (false: duty waits for a replacement).
+	chiefHandoff bool
+
+	tracker *profile.Tracker
+
+	started      bool
+	globalStep   int64
+	lastCkptStep int64
+	done         bool
+	startedAt    sim.Time
+	doneAt       sim.Time
+
+	ckptCount   int
+	ckptSeconds float64
+
+	events    []Event
+	stepHooks map[int64][]func()
+
+	nWorkersCreated int
+}
+
+// NewCluster builds a session on the kernel. The chief is the first
+// worker. Workers do not begin training until Start.
+func NewCluster(k *sim.Kernel, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		k:            k,
+		rng:          stats.NewRng(cfg.Seed),
+		cfg:          cfg,
+		workers:      make(map[string]*Worker),
+		chiefHandoff: true,
+		stepHooks:    make(map[int64][]func()),
+		tracker:      profile.NewTracker(cfg.SpeedWindowSteps),
+	}
+	for i := 0; i < cfg.ParameterServers; i++ {
+		c.shards = append(c.shards, sim.NewServer(k))
+	}
+	for _, spec := range cfg.Workers {
+		name := c.newWorker(spec)
+		if c.chief == "" {
+			c.chief = name
+		}
+	}
+	return c, nil
+}
+
+// MustCluster is NewCluster that panics on error, for experiment code
+// with static configurations.
+func MustCluster(k *sim.Kernel, cfg Config) *Cluster {
+	c, err := NewCluster(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// newWorker registers a worker without starting it.
+func (c *Cluster) newWorker(spec WorkerSpec) string {
+	name := fmt.Sprintf("%s-%d", spec.GPU, c.nWorkersCreated)
+	c.nWorkersCreated++
+	compute := model.StepTime(spec.GPU, c.cfg.Model.GFLOPs) - baselineRoundTripSeconds(c.cfg.Model)
+	if compute <= 0 {
+		// The calibration guarantees positive compute for the zoo; a
+		// violation means a future model/GPU addition broke it.
+		panic(fmt.Sprintf("train: non-positive compute time for %s on %v", c.cfg.Model.Name, spec.GPU))
+	}
+	w := &Worker{
+		c:           c,
+		name:        name,
+		gpu:         spec.GPU,
+		computeMean: compute,
+		rng:         c.rng.Fork(),
+	}
+	c.workers[name] = w
+	c.order = append(c.order, name)
+	return name
+}
+
+// Start launches every configured worker at the current virtual time.
+func (c *Cluster) Start() {
+	if c.started {
+		panic("train: cluster already started")
+	}
+	c.started = true
+	c.startedAt = c.k.Now()
+	c.tracker.Begin(c.k.Now().Seconds())
+	for _, name := range c.order {
+		c.workers[name].startStep()
+	}
+}
+
+// Chief returns the current chief worker's name.
+func (c *Cluster) Chief() string { return c.chief }
+
+// SetChiefHandoff selects between CM-DARE chief takeover (true, the
+// default) and unmodified TensorFlow (false).
+func (c *Cluster) SetChiefHandoff(enabled bool) { c.chiefHandoff = enabled }
+
+// GlobalStep returns the current global step (after any rollbacks).
+func (c *Cluster) GlobalStep() int64 { return c.globalStep }
+
+// LastCheckpointStep returns the global step of the latest completed
+// checkpoint.
+func (c *Cluster) LastCheckpointStep() int64 { return c.lastCkptStep }
+
+// Done reports whether the session reached its target steps.
+func (c *Cluster) Done() bool { return c.done }
+
+// Tracker exposes the session's performance tracker.
+func (c *Cluster) Tracker() *profile.Tracker { return c.tracker }
+
+// Events returns the session timeline.
+func (c *Cluster) Events() []Event {
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// LiveWorkers returns the names of workers currently training, in
+// join order.
+func (c *Cluster) LiveWorkers() []string {
+	var out []string
+	for _, name := range c.order {
+		if !c.workers[name].dead {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// WorkerGPU returns the GPU type of a (possibly dead) worker.
+func (c *Cluster) WorkerGPU(name string) (model.GPU, error) {
+	w, ok := c.workers[name]
+	if !ok {
+		return 0, fmt.Errorf("train: no worker %q", name)
+	}
+	return w.gpu, nil
+}
+
+// PSMaxUtilization returns the highest shard utilization, the signal
+// CM-DARE's bottleneck detector reads (§VI-B).
+func (c *Cluster) PSMaxUtilization() float64 {
+	var max float64
+	for _, s := range c.shards {
+		if u := s.Utilization(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// WhenStep registers fn to run the first time the global step reaches
+// exactly step. Registration after the step has passed is an error
+// surfaced by panic (it would silently never fire).
+func (c *Cluster) WhenStep(step int64, fn func()) {
+	if step <= c.globalStep {
+		panic(fmt.Sprintf("train: WhenStep(%d) at or before current step %d", step, c.globalStep))
+	}
+	c.stepHooks[step] = append(c.stepHooks[step], fn)
+}
+
+// KillWorker revokes a worker immediately (the simulation analogue of
+// a preemption, and of the paper's manual revocations in §V-E). The
+// worker's in-flight step is discarded. If the chief dies and chief
+// handoff is enabled, checkpoint duty moves to the oldest surviving
+// worker.
+func (c *Cluster) KillWorker(name string) error {
+	w, ok := c.workers[name]
+	if !ok {
+		return fmt.Errorf("train: no worker %q", name)
+	}
+	if w.dead {
+		return fmt.Errorf("train: worker %q already dead", name)
+	}
+	w.dead = true
+	c.addEvent(EventRevocation, name)
+	if name == c.chief {
+		c.chief = ""
+		if c.chiefHandoff {
+			for _, cand := range c.order {
+				if !c.workers[cand].dead {
+					c.chief = cand
+					c.addEvent(EventChiefHandoff, cand)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// JoinMode controls how a replacement worker enters the session.
+type JoinMode struct {
+	// Cold marks a newly requested server (framework start + session
+	// join + graph setup + dataset download); warm reuses an existing
+	// server (no download). Fig. 10's two bars.
+	Cold bool
+	// MakeChief gives the new worker checkpoint duty on join.
+	MakeChief bool
+	// ReuseChiefIP reproduces unmodified TensorFlow's recomputation
+	// behavior (§V-E): the new worker binds the revoked chief's
+	// address, becomes chief, and the session restarts from the last
+	// checkpoint, discarding progress since.
+	ReuseChiefIP bool
+}
+
+// AddWorker schedules a new worker to join the running session after
+// the calibrated replacement overhead. It returns the worker's name
+// immediately; the worker starts training once joined.
+func (c *Cluster) AddWorker(spec WorkerSpec, mode JoinMode) (string, error) {
+	if !spec.GPU.Valid() {
+		return "", fmt.Errorf("train: invalid GPU %d", int(spec.GPU))
+	}
+	if !c.started {
+		return "", fmt.Errorf("train: cluster not started")
+	}
+	name := c.newWorker(spec)
+	w := c.workers[name]
+	overhead := ReplacementSeconds(c.cfg.Model, mode.Cold)
+	overhead = w.rng.LogNormal(overhead, replacementOverheadCoV)
+	c.k.After(overhead, func() {
+		if c.done {
+			return
+		}
+		c.addEvent(EventJoin, name)
+		if mode.ReuseChiefIP {
+			c.rollback()
+			c.chief = name
+		} else if mode.MakeChief || c.chief == "" {
+			c.chief = name
+			c.addEvent(EventChiefHandoff, name)
+		}
+		w.startStep()
+	})
+	return name, nil
+}
+
+// rollback discards progress since the last checkpoint.
+func (c *Cluster) rollback() {
+	c.addEvent(EventRollback, "")
+	c.globalStep = c.lastCkptStep
+}
+
+// addEvent appends a timeline entry at the current time and step.
+func (c *Cluster) addEvent(kind EventKind, worker string) {
+	c.events = append(c.events, Event{
+		Kind:   kind,
+		Time:   c.k.Now().Seconds(),
+		Step:   c.globalStep,
+		Worker: worker,
+	})
+}
+
+// completeGlobalStep advances the global counter, feeds the tracker,
+// runs step hooks, and finishes the session at the target.
+func (c *Cluster) completeGlobalStep() {
+	c.globalStep++
+	c.tracker.RecordGlobalStep(c.k.Now().Seconds())
+	if hooks, ok := c.stepHooks[c.globalStep]; ok {
+		delete(c.stepHooks, c.globalStep)
+		for _, fn := range hooks {
+			fn()
+		}
+	}
+	if c.cfg.TargetSteps > 0 && c.globalStep >= c.cfg.TargetSteps && !c.done {
+		c.done = true
+		c.doneAt = c.k.Now()
+	}
+}
+
+// checkpointDue reports whether the chief should checkpoint now.
+func (c *Cluster) checkpointDue() bool {
+	return c.cfg.CheckpointInterval > 0 &&
+		c.globalStep-c.lastCkptStep >= c.cfg.CheckpointInterval &&
+		!c.done
+}
+
+// runCheckpoint stalls the chief for the checkpoint duration; training
+// and checkpointing are sequential on the chief (§IV-B), while other
+// workers keep training.
+func (c *Cluster) runCheckpoint(w *Worker) {
+	snapshot := c.globalStep
+	dur := w.rng.LogNormal(CheckpointSeconds(c.cfg.Model), ckptTimeCoV)
+	c.k.After(dur, func() {
+		if w.dead {
+			// Chief revoked mid-checkpoint: the save is lost. CM-DARE's
+			// takeover means the next chief will checkpoint at its next
+			// boundary.
+			return
+		}
+		c.lastCkptStep = snapshot
+		c.ckptCount++
+		c.ckptSeconds += dur
+		c.addEvent(EventCheckpoint, w.name)
+		w.startStep()
+	})
+}

@@ -1,0 +1,86 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// WorkerSpec places one GPU worker in the cluster.
+type WorkerSpec struct {
+	GPU model.GPU
+}
+
+// Homogeneous returns n workers of the same GPU type.
+func Homogeneous(g model.GPU, n int) []WorkerSpec {
+	specs := make([]WorkerSpec, n)
+	for i := range specs {
+		specs[i] = WorkerSpec{GPU: g}
+	}
+	return specs
+}
+
+// Mixed returns the paper's (x, y, z) cluster notation: x K80s,
+// y P100s, z V100s (Table III).
+func Mixed(k80, p100, v100 int) []WorkerSpec {
+	specs := make([]WorkerSpec, 0, k80+p100+v100)
+	specs = append(specs, Homogeneous(model.K80, k80)...)
+	specs = append(specs, Homogeneous(model.P100, p100)...)
+	specs = append(specs, Homogeneous(model.V100, v100)...)
+	return specs
+}
+
+// Config describes one training session.
+type Config struct {
+	// Model is the CNN being trained.
+	Model model.Model
+	// Workers is the initial worker placement; Workers[0] is the
+	// chief. It may be empty for cloud-managed sessions whose workers
+	// join via AddWorker as their instances come up; the first joiner
+	// becomes chief.
+	Workers []WorkerSpec
+	// ParameterServers is the number of parameter-server shards
+	// (default 1, the paper's baseline).
+	ParameterServers int
+	// TargetSteps ends the session once the global step count reaches
+	// it; 0 means run until the caller stops the kernel.
+	TargetSteps int64
+	// CheckpointInterval is Ic in steps; 0 disables checkpointing.
+	CheckpointInterval int64
+	// SpeedWindowSteps is the profiler averaging window (default 100,
+	// the paper's methodology).
+	SpeedWindowSteps int64
+	// DisableWarmup skips the warm-up transient; microbenchmarks that
+	// start measurement after warm-up use this to save simulated time.
+	DisableWarmup bool
+	// Seed drives all randomness in the session.
+	Seed int64
+}
+
+// validate normalizes defaults and rejects impossible configurations.
+func (c *Config) validate() error {
+	if c.Model.Name == "" {
+		return fmt.Errorf("train: config has no model")
+	}
+	for i, w := range c.Workers {
+		if !w.GPU.Valid() {
+			return fmt.Errorf("train: worker %d has invalid GPU %d", i, int(w.GPU))
+		}
+	}
+	if c.ParameterServers == 0 {
+		c.ParameterServers = 1
+	}
+	if c.ParameterServers < 0 {
+		return fmt.Errorf("train: negative parameter server count %d", c.ParameterServers)
+	}
+	if c.TargetSteps < 0 || c.CheckpointInterval < 0 {
+		return fmt.Errorf("train: negative step counts")
+	}
+	if c.SpeedWindowSteps == 0 {
+		c.SpeedWindowSteps = 100
+	}
+	if c.SpeedWindowSteps < 0 {
+		return fmt.Errorf("train: negative speed window")
+	}
+	return nil
+}

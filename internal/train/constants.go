@@ -1,0 +1,112 @@
+// Package train simulates asynchronous parameter-server distributed
+// training as a discrete-event system: workers alternate GPU compute
+// with parameter-server round trips, parameter-server shards are FIFO
+// queueing stations, the chief worker checkpoints sequentially with
+// its own training, and workers can be revoked, replaced, and rolled
+// back mid-session.
+//
+// The queueing structure is what reproduces the paper's cluster-scale
+// results from first principles: per-worker speed independence until
+// parameter-server saturation (Table III), cluster-speed plateaus
+// (Fig. 4), and the two-parameter-server mitigation (Fig. 12).
+package train
+
+import "repro/internal/model"
+
+// Parameter-server calibration. A worker's step issues one update per
+// shard; shard service time is a fixed per-update cost plus the
+// shard's share of the gradient bytes over the server's effective
+// bandwidth. Fitted so saturation matches Table III's shape against
+// the Table I baselines: a single parameter server sustains ≈60
+// ResNet-32 updates/s — eight K80 workers (demand ≈36/s) see no
+// slowdown, eight P100 workers (demand ≈98/s) saturate it, and V100
+// workers reach the onset around four workers.
+const (
+	// psFixedSeconds is the per-update bookkeeping cost at a shard.
+	psFixedSeconds = 0.0005
+	// psBytesPerSecond is a parameter server's effective
+	// aggregation/update bandwidth.
+	psBytesPerSecond = 1.2e9
+	// psServiceCoV is the service-time noise; near-deterministic
+	// service keeps the pre-saturation queueing mild, matching
+	// Table III's small step-time inflation at four P100 workers.
+	psServiceCoV = 0.05
+)
+
+// shardServiceSeconds returns the mean service time of one update at
+// one shard when the model's gradients are sharded across shards
+// parameter servers.
+func shardServiceSeconds(m model.Model, shards int) float64 {
+	return psFixedSeconds + float64(m.GradientBytes)/float64(shards)/psBytesPerSecond
+}
+
+// baselineRoundTripSeconds is the parameter-server time embedded in
+// the paper's single-worker, single-parameter-server Table I
+// measurements; the pure GPU compute time is the Table I step time
+// minus this.
+func baselineRoundTripSeconds(m model.Model) float64 {
+	return shardServiceSeconds(m, 1)
+}
+
+// Checkpoint calibration (§IV, Fig. 5): writing a checkpoint of Sc
+// bytes to same-region cloud storage takes a fixed API/flush cost plus
+// Sc over the *effective* storage throughput. Small objects do not
+// reach peak throughput (connection setup and chunking amortize over
+// size), so the effective rate ramps from ≈72% to 100% of peak as
+// objects grow — the mild nonlinearity that makes the paper's
+// RBF-kernel SVR the best checkpoint-time model (Table IV). Fitted so
+// ResNet-32 takes ≈3.84 s (§IV-B) and the largest zoo model ≈8 s at
+// Fig. 5's ≈200 MB maximum.
+const (
+	ckptBaseSeconds    = 0.22
+	ckptBytesPerSecond = 28.8e6
+	// ckptRampFloor and ckptRampHalf shape the throughput ramp:
+	// eff = peak × (floor + (1−floor)·Sc/(Sc+half)).
+	ckptRampFloor     = 0.55
+	ckptRampHalfBytes = 60e6
+	ckptTimeCoV       = 0.04 // Fig. 5 reports CoV 0.018–0.073
+)
+
+// CheckpointSeconds returns the mean time to checkpoint the model.
+func CheckpointSeconds(m model.Model) float64 {
+	sc := float64(m.CheckpointBytes())
+	eff := ckptBytesPerSecond * (ckptRampFloor + (1-ckptRampFloor)*sc/(sc+ckptRampHalfBytes))
+	return ckptBaseSeconds + sc/eff
+}
+
+// Worker-replacement calibration (Fig. 10): after a replacement server
+// is up, the worker must start the framework, join the training
+// session, rebuild the computation graph (grows with model size), and
+// — for cold starts on a fresh server — download the training data
+// shard. Fitted to Fig. 10: ResNet-15 ≈14.8 s warm / ≈75.6 s cold;
+// Shake-Shake Big ≈15 s more than ResNet-15, mostly graph setup.
+const (
+	frameworkStartSeconds  = 5.0
+	joinSessionSeconds     = 2.0
+	graphSetupBaseSeconds  = 7.5
+	graphSetupPerGFLOP     = 0.71
+	datasetDownloadSeconds = 60.8
+	replacementOverheadCoV = 0.05
+	sessionRestartSeconds  = 10.0 // §VI-B: restarting to add a parameter server
+)
+
+// GraphSetupSeconds returns the model-dependent computation-graph
+// construction time.
+func GraphSetupSeconds(m model.Model) float64 {
+	return graphSetupBaseSeconds + graphSetupPerGFLOP*m.GFLOPs
+}
+
+// ReplacementSeconds returns the mean worker-replacement overhead
+// (the paper's Ts). Cold starts add the dataset download.
+func ReplacementSeconds(m model.Model, cold bool) float64 {
+	t := frameworkStartSeconds + joinSessionSeconds + GraphSetupSeconds(m)
+	if cold {
+		t += datasetDownloadSeconds
+	}
+	return t
+}
+
+// SessionRestartSeconds is the overhead of tearing down and restarting
+// a training session (needed to change the parameter-server count;
+// §VI-B reports about 10 seconds).
+func SessionRestartSeconds() float64 { return sessionRestartSeconds }

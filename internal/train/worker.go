@@ -1,0 +1,77 @@
+package train
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Worker is one GPU worker's state machine: compute a gradient, push
+// it through every parameter-server shard, repeat. Asynchrony across
+// workers comes from each worker looping at its own pace; coupling
+// comes only from the shared shard queues.
+type Worker struct {
+	c           *Cluster
+	name        string
+	gpu         model.GPU
+	computeMean float64
+	rng         *stats.Rng
+
+	dead      bool
+	stepsDone int64
+	stepStart sim.Time
+}
+
+// startStep begins the compute phase of the next step.
+func (w *Worker) startStep() {
+	if w.dead || w.c.done {
+		return
+	}
+	w.stepStart = w.c.k.Now()
+	compute := w.rng.LogNormal(w.computeMean, model.StepTimeCoV)
+	if !w.c.cfg.DisableWarmup {
+		compute *= model.WarmupMultiplier(w.stepsDone)
+	}
+	w.c.k.After(compute, w.pushUpdate)
+}
+
+// pushUpdate submits the gradient to every shard; the step's
+// communication phase ends when the slowest shard responds.
+func (w *Worker) pushUpdate() {
+	if w.dead || w.c.done {
+		return
+	}
+	remaining := len(w.c.shards)
+	if remaining == 0 {
+		// Degenerate zero-PS configuration: local training only.
+		w.finishStep()
+		return
+	}
+	meanService := shardServiceSeconds(w.c.cfg.Model, len(w.c.shards))
+	for _, shard := range w.c.shards {
+		service := w.rng.LogNormal(meanService, psServiceCoV)
+		shard.Submit(service, func() {
+			remaining--
+			if remaining == 0 {
+				w.finishStep()
+			}
+		})
+	}
+}
+
+// finishStep accounts a completed step and chains the next action:
+// another step, or a checkpoint if this worker is the chief and one is
+// due.
+func (w *Worker) finishStep() {
+	if w.dead {
+		return // revoked mid-flight: gradient discarded
+	}
+	w.stepsDone++
+	w.c.tracker.RecordWorkerStep(w.name, float64(w.c.k.Now()-w.stepStart))
+	w.c.completeGlobalStep()
+	if w.name == w.c.chief && w.c.checkpointDue() {
+		w.c.runCheckpoint(w)
+		return
+	}
+	w.startStep()
+}

@@ -1,0 +1,343 @@
+// Package transport implements the small RPC layer the live CM-DARE
+// cluster runs on: length-prefixed JSON messages over TCP, with
+// request/response correlation and one-way notifications.
+//
+// The paper's training cluster wires parameter servers, workers, and
+// the controller together over RPC (Fig. 1, step 3); this package is
+// that substrate, built on the standard library only.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameBytes bounds a single message (largest gradient shard plus
+// envelope overhead). Oversized frames indicate a protocol bug or a
+// corrupted stream; fail loudly instead of allocating unboundedly.
+const maxFrameBytes = 64 << 20
+
+// message is the wire envelope.
+type message struct {
+	ID     uint64          `json:"id"`
+	Kind   string          `json:"kind"` // "req", "resp", or "notify"
+	Method string          `json:"method,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// writeFrame marshals and writes one length-prefixed message.
+func writeFrame(w io.Writer, m *message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("transport: write length: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed message.
+func readFrame(r io.Reader) (*message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	var m message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("transport: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// Handler serves one method. The returned value is marshaled as the
+// response body; a returned error is sent to the caller as a string.
+type Handler func(body json.RawMessage) (any, error)
+
+// Server accepts connections and dispatches requests to registered
+// handlers. Notifications dispatch to the same handlers with their
+// return value discarded.
+type Server struct {
+	lis net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis:      lis,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Handle registers a handler; it panics on duplicate registration,
+// which is always a wiring bug.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("transport: duplicate handler for %q", method))
+	}
+	s.handlers[method] = h
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[m.Method]
+		s.mu.Unlock()
+		switch m.Kind {
+		case "notify":
+			if h != nil {
+				// Errors on notifications have nowhere to go; the
+				// handler owns its own logging.
+				_, _ = h(m.Body)
+			}
+		case "req":
+			resp := &message{ID: m.ID, Kind: "resp"}
+			if h == nil {
+				resp.Error = fmt.Sprintf("no handler for method %q", m.Method)
+			} else if out, herr := h(m.Body); herr != nil {
+				resp.Error = herr.Error()
+			} else if out != nil {
+				body, merr := json.Marshal(out)
+				if merr != nil {
+					resp.Error = fmt.Sprintf("marshal response: %v", merr)
+				} else {
+					resp.Body = body
+				}
+			}
+			writeMu.Lock()
+			err := writeFrame(conn, resp)
+			writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the listener and all connections, waiting for serving
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is one TCP connection to a Server, safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *message
+	closed  bool
+	readErr error
+
+	wg sync.WaitGroup
+}
+
+// Dial connects to a server address with a connect timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan *message)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		m, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.closed = true
+			c.mu.Unlock()
+			return
+		}
+		if m.Kind != "resp" {
+			continue // clients only receive responses
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// ErrClosed reports a call on a closed or failed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Call performs a request and unmarshals the response body into out
+// (out may be nil to discard). It fails after timeout.
+func (c *Client) Call(method string, in, out any, timeout time.Duration) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: marshal request: %w", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &message{ID: id, Kind: "req", Method: method, Body: body}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if m.Error != "" {
+			return fmt.Errorf("transport: remote %s: %s", method, m.Error)
+		}
+		if out != nil && len(m.Body) > 0 {
+			if err := json.Unmarshal(m.Body, out); err != nil {
+				return fmt.Errorf("transport: unmarshal response: %w", err)
+			}
+		}
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("transport: %s timed out after %v", method, timeout)
+	}
+}
+
+// Notify sends a one-way message; no response is awaited.
+func (c *Client) Notify(method string, in any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: marshal notification: %w", err)
+	}
+	m := &message{Kind: "notify", Method: method, Body: body}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, m)
+}
+
+// Close tears the connection down and waits for the read loop.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testTimeout = 5 * time.Second
+
+type echoReq struct {
+	Text string `json:"text"`
+}
+
+type echoResp struct {
+	Text string `json:"text"`
+	N    int    `json:"n"`
+}
+
+func newEchoServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.Handle("echo", func(body json.RawMessage) (any, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return echoResp{Text: req.Text, N: len(req.Text)}, nil
+	})
+	s.Handle("fail", func(json.RawMessage) (any, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp echoResp
+	if err := c.Call("echo", echoReq{Text: "hello"}, &resp, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "hello" || resp.N != 5 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("fail", echoReq{}, nil, testTimeout)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v, want remote failure", err)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("nope", echoReq{}, nil, testTimeout)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v, want no-handler error", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			text := strings.Repeat("x", i+1)
+			var resp echoResp
+			if err := c.Call("echo", echoReq{Text: text}, &resp, testTimeout); err != nil {
+				errs <- err
+				return
+			}
+			if resp.N != i+1 {
+				errs <- fmt.Errorf("call %d: got N=%d", i, resp.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNotify(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := make(chan string, 1)
+	s.Handle("event", func(body json.RawMessage) (any, error) {
+		var req echoReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		got <- req.Text
+		return nil, nil
+	})
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Notify("event", echoReq{Text: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case text := <-got:
+		if text != "ping" {
+			t.Fatalf("notification text = %q", text)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("notification never arrived")
+	}
+}
+
+func TestCallAfterServerClose(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("echo", echoReq{Text: "a"}, nil, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Either ErrClosed or a write error is acceptable; it must not
+	// hang.
+	done := make(chan error, 1)
+	go func() { done <- c.Call("echo", echoReq{Text: "b"}, nil, 2*time.Second) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call after server close should fail")
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("call after server close hung")
+	}
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("echo", echoReq{}, nil, time.Second); err == nil {
+		t.Fatal("call on closed client should fail")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	s := newEchoServer(t)
+	c, err := Dial(s.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := strings.Repeat("g", 4<<20)
+	var resp echoResp
+	if err := c.Call("echo", echoReq{Text: big}, &resp, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != len(big) {
+		t.Fatalf("N = %d, want %d", resp.N, len(big))
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	s := newEchoServer(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Handle should panic")
+		}
+	}()
+	s.Handle("echo", func(json.RawMessage) (any, error) { return nil, nil })
+}
