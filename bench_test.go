@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -101,6 +102,40 @@ func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
 // BenchmarkEndToEnd regenerates §VI-A: the Eq. 4/5 training-time
 // prediction validated against full managed sessions.
 func BenchmarkEndToEnd(b *testing.B) { runExperiment(b, "endtoend") }
+
+// BenchmarkSweep regenerates the scenario sweep: one managed session
+// per (size, GPU, region, tier) grid cell.
+func BenchmarkSweep(b *testing.B) { runExperiment(b, "sweep") }
+
+// BenchmarkCampaignWorkers runs a fixed batch of experiments through
+// the campaign engine at increasing pool sizes, measuring how the
+// reproduction scales with workers (the -parallel knob of cmd/repro).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	batch := []string{"table1", "fig2", "fig4", "fig10", "sweep"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plans := make([]*campaign.Plan, len(batch))
+				for pi, id := range batch {
+					runner, ok := experiments.ByID(id)
+					if !ok {
+						b.Fatalf("unknown experiment %q", id)
+					}
+					plans[pi] = runner.Plan(42 + int64(i))
+				}
+				for _, o := range (campaign.Engine{Workers: workers}).RunAll(plans) {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+					if o.Value.(experiments.Result).String() == "" {
+						b.Fatal("empty campaign output")
+					}
+				}
+			}
+		})
+	}
+}
 
 // --- Ablations ------------------------------------------------------
 //

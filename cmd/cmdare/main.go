@@ -15,9 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/campaign"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/manager"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -41,6 +44,7 @@ func run() int {
 		policy    = flag.String("replace", "immediate", "replacement policy: immediate, delayed, none")
 		delay     = flag.Float64("replace-delay", 3600, "delay in seconds for -replace=delayed")
 		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the measurement campaign")
 	)
 	flag.Parse()
 
@@ -77,55 +81,45 @@ func run() int {
 		return 2
 	}
 
-	placements := make([]manager.Placement, *workers)
-	for i := range placements {
-		placements[i] = manager.Placement{GPU: gpu, Region: region, Tier: cloud.Transient}
-	}
+	fmt.Printf("training %s on %d × transient %v in %v (%d PS, Nw=%d, Ic=%d, replace=%v)\n",
+		m.Name, *workers, gpu, region, *psCount, *steps, *ckptEvery, repl)
 
-	k := &sim.Kernel{}
-	provider := cloud.NewProvider(k, stats.NewRng(*seed))
-	session, err := manager.NewSession(provider, manager.Config{
-		Model:              m,
-		Workers:            placements,
-		ParameterServers:   *psCount,
-		TargetSteps:        *steps,
-		CheckpointInterval: *ckptEvery,
-		Replacement:        repl,
-		DelaySeconds:       *delay,
-		Seed:               *seed + 1,
-	})
+	// The measured session and the Eq. 4/5 calibration are independent
+	// campaigns; the engine runs them concurrently on separate kernels
+	// with seeds derived from -seed.
+	plan := &campaign.Plan{
+		Seed: *seed,
+		Units: []campaign.Unit{
+			{Key: "measured", Run: func(unitSeed int64) (any, error) {
+				sc := experiments.Scenario{Model: m, GPU: gpu, Region: region, Tier: cloud.Transient, Workers: *workers}
+				opts := experiments.SessionOptions{ParameterServers: *psCount, Replacement: repl, DelaySeconds: *delay}
+				return experiments.MeasureScenario(sc, *steps, *ckptEvery, opts, unitSeed)
+			}},
+			{Key: "prediction", Run: func(unitSeed int64) (any, error) {
+				est, err := predict(m, gpu, region, *workers, *psCount, *steps, *ckptEvery, unitSeed)
+				if err != nil {
+					return nil, err
+				}
+				return est, nil
+			}},
+		},
+	}
+	v, err := campaign.Engine{Workers: *parallel}.Run(plan)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmdare: %v\n", err)
 		return 1
 	}
+	outs := v.([]any)
+	mr := outs[0].(experiments.ScenarioOutcome)
+	est := outs[1].(core.Estimate)
 
-	fmt.Printf("training %s on %d × transient %v in %v (%d PS, Nw=%d, Ic=%d, replace=%v)\n",
-		m.Name, *workers, gpu, region, *psCount, *steps, *ckptEvery, repl)
-
-	// Run up to a week of virtual time; transient clusters that cannot
-	// finish by then deserve a loud failure, not a hang.
-	k.RunUntil(sim.Time(7 * 24 * 3600))
-	if !session.Done() {
-		fmt.Fprintf(os.Stderr, "cmdare: did not reach %d steps (at %d) within a week of virtual time\n",
-			*steps, session.Cluster().GlobalStep())
-		return 1
-	}
-	session.TerminateAll()
-
-	res := session.Cluster().Result()
 	fmt.Printf("\n-- measured --\n")
-	fmt.Printf("training time:     %.0f s (%.2f h)\n", session.TrainingSeconds(), session.TrainingSeconds()/3600)
-	fmt.Printf("steady speed:      %.2f steps/s\n", res.SteadySpeed)
-	fmt.Printf("checkpoints:       %d (%.0f s total)\n", res.CheckpointCount, res.CheckpointSeconds)
-	fmt.Printf("revocations:       %d (replacements requested: %d)\n", session.Revocations(), session.Replacements())
-	fmt.Printf("cost:              $%.2f\n", session.Cost())
+	fmt.Printf("training time:     %.0f s (%.2f h)\n", mr.TrainingSeconds, mr.TrainingSeconds/3600)
+	fmt.Printf("steady speed:      %.2f steps/s\n", mr.SteadySpeed)
+	fmt.Printf("checkpoints:       %d (%.0f s total)\n", mr.CheckpointCount, mr.CheckpointSeconds)
+	fmt.Printf("revocations:       %d (replacements requested: %d)\n", mr.Revocations, mr.Replacements)
+	fmt.Printf("cost:              $%.2f\n", mr.CostUSD)
 
-	// Side-by-side Eq. 4/5 prediction from the calibrated curves.
-	est, err := predict(m, gpu, region, *workers, *psCount, *steps, *ckptEvery, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cmdare: prediction failed: %v\n", err)
-		return 1
-	}
 	fmt.Printf("\n-- Eq. 4/5 prediction --\n")
 	fmt.Printf("cluster speed:     %.2f steps/s\n", est.ClusterSpeed)
 	fmt.Printf("compute term:      %.0f s\n", est.ComputeSeconds)
@@ -133,7 +127,7 @@ func run() int {
 	fmt.Printf("revocation term:   %.0f s (Nr = %.3f)\n", est.RevocationSeconds, est.ExpectedRevocations)
 	fmt.Printf("total:             %.0f s\n", est.TotalSeconds)
 	fmt.Printf("predicted cost:    $%.2f\n", est.CostUSD)
-	errPct := (est.TotalSeconds - session.TrainingSeconds()) / session.TrainingSeconds() * 100
+	errPct := (est.TotalSeconds - mr.TrainingSeconds) / mr.TrainingSeconds * 100
 	fmt.Printf("prediction error:  %+.2f%%\n", errPct)
 	return 0
 }

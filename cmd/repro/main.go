@@ -1,19 +1,26 @@
 // Command repro regenerates the paper's tables and figures on the
 // simulated substrate.
 //
+// Experiments run as campaigns on a worker pool: every independent
+// replication gets its own single-threaded simulation kernel and a
+// seed derived from -seed, so output is byte-identical for any
+// -parallel value. Timing goes to stderr to keep stdout canonical.
+//
 // Usage:
 //
 //	repro -list
 //	repro -exp table1
-//	repro -exp all [-seed 42]
+//	repro -exp all [-seed 42] [-parallel 8]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
 
@@ -23,9 +30,10 @@ func main() {
 
 func run() int {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run, or 'all'")
-		seed = flag.Int64("seed", 42, "base random seed")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for campaign replications")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -49,15 +57,32 @@ func run() int {
 		}
 		runners = []experiments.Runner{r}
 	}
-	for _, r := range runners {
-		start := time.Now()
-		result, err := r.Run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
-			return 1
-		}
-		fmt.Printf("== %s — %s (%.1fs)\n\n", r.ID, r.Title, time.Since(start).Seconds())
-		fmt.Println(result.String())
+
+	// One shared pool across all selected experiments, so the tail of
+	// one campaign overlaps the head of the next. Results stream in
+	// experiment order as they complete; the first failure stops the
+	// batch and skips unstarted work.
+	plans := make([]*campaign.Plan, len(runners))
+	for i, r := range runners {
+		plans[i] = r.Plan(*seed)
 	}
-	return 0
+	start := time.Now()
+	code := 0
+	printed := 0
+	campaign.Engine{Workers: *parallel}.RunEach(plans, func(i int, o campaign.Outcome) bool {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", runners[i].ID, o.Err)
+			code = 1
+			return false
+		}
+		fmt.Printf("== %s — %s\n\n", runners[i].ID, runners[i].Title)
+		fmt.Println(o.Value.(experiments.Result).String())
+		printed++
+		return true
+	})
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d experiment(s) in %.1fs (-parallel %d)\n",
+			printed, time.Since(start).Seconds(), *parallel)
+	}
+	return code
 }

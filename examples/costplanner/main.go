@@ -2,19 +2,25 @@
 // motivates — choosing server type, count, and tier for a training
 // workload while trading off time, cost, and revocation risk. This
 // example sweeps candidate clusters, estimates each with Eqs. 4–5
-// (compute + checkpoint + revocation recovery), and prints the
-// time/cost frontier.
+// (compute + checkpoint + revocation recovery), prints the time/cost
+// frontier, then validates the chosen plan by measurement: replicated
+// managed sessions of the winning configuration run concurrently on
+// the campaign engine.
 //
-//	go run ./examples/costplanner
+//	go run ./examples/costplanner [-parallel 8]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 
+	"repro/internal/campaign"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,6 +28,9 @@ import (
 )
 
 func main() {
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the validation campaign")
+	seed := flag.Int64("seed", 5, "random seed for the validation campaign")
+	flag.Parse()
 	const (
 		nw = 128000 // training steps
 		ic = 4000   // checkpoint interval
@@ -87,10 +96,62 @@ func main() {
 		if c.est.TotalSeconds/3600 <= deadlineHours {
 			fmt.Printf("\ncheapest plan under %.0f h: %s — %.2f h, $%.2f (≈%.2f expected revocations)\n",
 				deadlineHours, c.label, c.est.TotalSeconds/3600, c.est.CostUSD, c.est.ExpectedRevocations)
+			validate(c.label, c.plan, c.est, *parallel, *seed)
 			return
 		}
 	}
 	fmt.Printf("\nno candidate meets the %.0f h deadline\n", deadlineHours)
+}
+
+// validate measures the winning plan with replicated managed sessions,
+// scheduled concurrently by the campaign engine, and reports measured
+// time and cost against the Eq. 4/5 estimate.
+func validate(label string, plan core.Plan, est core.Estimate, parallel int, seed int64) {
+	const replications = 3
+	w := plan.Workers[0]
+	region, err := cloud.ParseRegion(w.Region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tier := cloud.OnDemand
+	if w.Transient {
+		tier = cloud.Transient
+	}
+	scenario := experiments.Scenario{
+		Model:   plan.Model,
+		GPU:     w.GPU,
+		Region:  region,
+		Tier:    tier,
+		Workers: len(plan.Workers),
+	}
+	cp := &campaign.Plan{Seed: seed}
+	for i := 0; i < replications; i++ {
+		cp.Units = append(cp.Units, campaign.Unit{
+			Key: fmt.Sprintf("validate/%d", i),
+			Run: func(unitSeed int64) (any, error) {
+				return experiments.MeasureScenario(scenario, plan.TargetSteps, plan.CheckpointInterval, experiments.SessionOptions{}, unitSeed)
+			},
+		})
+	}
+	v, err := campaign.Engine{Workers: parallel}.Run(cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidating %s with %d measured sessions:\n", label, replications)
+	var hours, cost float64
+	var revoked int
+	for i, o := range v.([]any) {
+		out := o.(experiments.ScenarioOutcome)
+		fmt.Printf("  session %d: %.2f h, $%.2f, %d revocations\n",
+			i+1, out.TrainingSeconds/3600, out.CostUSD, out.Revocations)
+		hours += out.TrainingSeconds / 3600
+		cost += out.CostUSD
+		revoked += out.Revocations
+	}
+	hours /= replications
+	cost /= replications
+	fmt.Printf("  mean: %.2f h, $%.2f (%d revocations across %d sessions) — predicted %.2f h, $%.2f\n",
+		hours, cost, revoked, replications, est.TotalSeconds/3600, est.CostUSD)
 }
 
 // buildPredictor assembles Eq. 4/5 inputs: per-GPU speed models, a

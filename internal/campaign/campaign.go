@@ -1,0 +1,262 @@
+// Package campaign schedules measurement campaigns: batches of
+// independent simulation units executed on a worker pool and
+// aggregated deterministically.
+//
+// The sim kernel is single-threaded by design; determinism there comes
+// from one event loop consuming one seeded RNG. This package scales
+// that model out the same way CM-DARE ran its own measurement campaign
+// across GPU types and regions: every independent replication gets its
+// own kernel and its own seed, derived SplitMix-style from the
+// campaign seed and the unit's position in the plan. Because a unit's
+// seed depends only on (campaign seed, unit index) — never on
+// scheduling order — and because outputs are collected by index before
+// any aggregation runs, a campaign's result is byte-identical whether
+// it ran on one worker or sixteen.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Unit is one independent replication: typically a single simulated
+// session or measurement study on a fresh kernel. Run receives the
+// unit's derived seed and must not share mutable state with other
+// units.
+type Unit struct {
+	// Key labels the unit in errors, e.g. "speed/K80/ResNet-32".
+	Key string
+	// Run executes the replication with the derived seed.
+	Run func(seed int64) (any, error)
+}
+
+// Plan is a declared campaign: a base seed, an ordered list of
+// independent units, and a reduce that assembles the final value from
+// the unit outputs (outs[i] is Units[i]'s output). Reduce runs only
+// after every unit succeeded; it sees outputs in declaration order
+// regardless of completion order.
+type Plan struct {
+	Seed   int64
+	Units  []Unit
+	Reduce func(outs []any) (any, error)
+}
+
+// UnitError reports which unit of a plan failed.
+type UnitError struct {
+	Key   string
+	Index int
+	Err   error
+}
+
+func (e *UnitError) Error() string {
+	return fmt.Sprintf("unit %d (%s): %v", e.Index, e.Key, e.Err)
+}
+
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// Outcome is one plan's result in a batch run.
+type Outcome struct {
+	Value any
+	Err   error
+}
+
+// Engine runs plans on a pool of Workers goroutines. The zero value
+// (or any Workers ≤ 0) uses GOMAXPROCS.
+type Engine struct {
+	Workers int
+}
+
+// Run executes a single plan and returns its reduced value.
+func (e Engine) Run(p *Plan) (any, error) {
+	o := e.RunAll([]*Plan{p})[0]
+	return o.Value, o.Err
+}
+
+// RunAll executes several plans on one shared worker pool, so the tail
+// of one experiment overlaps the head of the next. Each plan's unit
+// seeds are derived from its own Seed exactly as in Run, and each plan
+// reduces over its own index-ordered outputs, so per-plan results are
+// identical to running the plans one at a time.
+func (e Engine) RunAll(plans []*Plan) []Outcome {
+	results := make([]Outcome, len(plans))
+	e.RunEach(plans, func(i int, o Outcome) bool {
+		results[i] = o
+		return true
+	})
+	return results
+}
+
+// RunEach is RunAll with streaming delivery: done is invoked once per
+// plan, in declaration order, as soon as that plan and every earlier
+// one have finished — so a caller can print experiment results while
+// later campaigns are still running. Returning false from done stops
+// the batch: units not yet started are skipped (in-flight units
+// finish) and no further callbacks fire. Because delivery order is
+// declaration order, the sequence of callbacks before a stop is
+// identical for every worker count.
+func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
+	type job struct{ plan, unit int }
+	var jobs []job
+	outs := make([][]any, len(plans))
+	errs := make([][]error, len(plans))
+	remaining := make([]atomic.Int64, len(plans))
+	for pi, p := range plans {
+		outs[pi] = make([]any, len(p.Units))
+		errs[pi] = make([]error, len(p.Units))
+		remaining[pi].Store(int64(len(p.Units)))
+		for ui := range p.Units {
+			jobs = append(jobs, job{pi, ui})
+		}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Delivery state lives on this goroutine: plans are handed to done
+	// in declaration order as soon as they and every earlier plan have
+	// finished. A false return from done latches stop, which skips
+	// every unit not yet started.
+	var stop atomic.Bool
+	completed := make([]bool, len(plans))
+	next := 0
+	deliver := func(pi int) {
+		completed[pi] = true
+		for next < len(plans) && completed[next] {
+			if !done(next, reduce(plans[next], outs[next], errs[next])) {
+				stop.Store(true)
+				next = len(plans)
+				return
+			}
+			next++
+		}
+	}
+	// Plans with no units are ready immediately.
+	for pi, p := range plans {
+		if len(p.Units) == 0 {
+			deliver(pi)
+		}
+	}
+
+	planReady := make(chan int, len(plans))
+	run := func(j job) {
+		p := plans[j.plan]
+		if stop.Load() {
+			errs[j.plan][j.unit] = fmt.Errorf("skipped: batch stopped")
+		} else {
+			u := p.Units[j.unit]
+			out, err := runUnit(u, Derive(p.Seed, uint64(j.unit), u.Key))
+			outs[j.plan][j.unit] = out
+			errs[j.plan][j.unit] = err
+		}
+		// The worker that retires a plan's last unit announces it; the
+		// atomic decrement orders every worker's writes to this plan's
+		// slots before the channel send.
+		if remaining[j.plan].Add(-1) == 0 {
+			planReady <- j.plan
+		}
+	}
+
+	if workers <= 1 {
+		// Sequential mode interleaves execution and delivery on one
+		// goroutine, so a stop takes effect before the next unit runs.
+		for _, j := range jobs {
+			if stop.Load() {
+				break
+			}
+			run(j)
+			for drained := false; !drained; {
+				select {
+				case pi := <-planReady:
+					deliver(pi)
+				default:
+					drained = true
+				}
+			}
+		}
+		return
+	}
+
+	ch := make(chan job, len(jobs))
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				run(j)
+			}
+		}()
+	}
+	// Every plan with units announces exactly once; stop short-circuits
+	// the wait for plans that will never be delivered.
+	announcing := 0
+	for _, p := range plans {
+		if len(p.Units) > 0 {
+			announcing++
+		}
+	}
+	for n := 0; n < announcing && next < len(plans); n++ {
+		deliver(<-planReady)
+	}
+	wg.Wait()
+}
+
+// reduce resolves one plan: the first failed unit in declaration order
+// wins (deterministic regardless of which units happened to finish),
+// otherwise Reduce assembles the value.
+func reduce(p *Plan, outs []any, errs []error) Outcome {
+	for i, err := range errs {
+		if err != nil {
+			return Outcome{Err: &UnitError{Key: p.Units[i].Key, Index: i, Err: err}}
+		}
+	}
+	if p.Reduce == nil {
+		return Outcome{Value: outs}
+	}
+	v, err := p.Reduce(outs)
+	return Outcome{Value: v, Err: err}
+}
+
+// runUnit executes one unit, converting a panic into an error so a
+// logic bug in one replication fails its campaign loudly instead of
+// tearing down unrelated ones mid-pool.
+func runUnit(u Unit, seed int64) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return u.Run(seed)
+}
+
+// Derive maps (campaign seed, unit index, unit key) to the unit's
+// seed with a SplitMix64 finalizer. Consecutive indices land in
+// uncorrelated streams, and hashing the key keeps distinct
+// experiments sharing one campaign seed (cmd/repro -exp all) from
+// replaying each other's RNG streams when their grids overlap. The
+// result is masked non-negative so downstream seed arithmetic
+// (seed+1 idioms) stays in range.
+func Derive(seed int64, i uint64, key string) int64 {
+	// FNV-1a over the key, folded into the SplitMix stream.
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(key) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	x := uint64(seed) + (i+1)*0x9E3779B97F4A7C15 + h
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x &^ (1 << 63))
+}

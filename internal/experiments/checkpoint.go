@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/train"
@@ -25,8 +26,17 @@ type Fig5Point struct {
 	CoV     float64
 }
 
-func runFigure5(seed int64) (Result, error) {
-	ds := collectCheckpointDataset(5, seed)
+func planFigure5(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	p.unit("ckpt-dataset", func(s int64) (any, error) {
+		return collectCheckpointDataset(5, s), nil
+	})
+	return p.build(func(outs []any) (Result, error) {
+		return reduceFigure5(outs[0].(*checkpointDataset))
+	})
+}
+
+func reduceFigure5(ds *checkpointDataset) (Result, error) {
 	res := &Figure5Result{}
 	var sizes, times []float64
 	for _, m := range ds.models {
@@ -71,34 +81,44 @@ type CheckpointSequentialResult struct {
 	Difference          float64
 }
 
-func runCheckpointSequential(seed int64) (Result, error) {
-	resnet32 := model.ResNet32()
-	base := train.Config{
-		Model:         resnet32,
-		Workers:       train.Homogeneous(model.K80, 1),
-		TargetSteps:   2000,
-		DisableWarmup: true,
-		Seed:          seed,
-	}
-	without, err := runSession(base)
-	if err != nil {
-		return nil, err
-	}
-	withCfg := base
-	withCfg.CheckpointInterval = 100
-	with, err := runSession(withCfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &CheckpointSequentialResult{
-		Per100WithCkpt:    with.TotalSeconds / 20,
-		Per100WithoutCkpt: without.TotalSeconds / 20,
-	}
-	if with.CheckpointCount > 0 {
-		res.MeasuredCkptSeconds = with.CheckpointSeconds / float64(with.CheckpointCount)
-	}
-	res.Difference = res.Per100WithCkpt - res.Per100WithoutCkpt
-	return res, nil
+func planCheckpointSequential(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	// Both arms run inside one unit with the same seed: the paired
+	// design cancels step-time noise so the difference isolates the
+	// checkpoint overhead (§IV-B's methodology).
+	p.unit("ckptseq/pair", func(s int64) (any, error) {
+		base := train.Config{
+			Model:         model.ResNet32(),
+			Workers:       train.Homogeneous(model.K80, 1),
+			TargetSteps:   2000,
+			DisableWarmup: true,
+			Seed:          s,
+		}
+		without, err := runSession(base)
+		if err != nil {
+			return nil, err
+		}
+		withCfg := base
+		withCfg.CheckpointInterval = 100
+		with, err := runSession(withCfg)
+		if err != nil {
+			return nil, err
+		}
+		return [2]train.Result{without, with}, nil
+	})
+	return p.build(func(outs []any) (Result, error) {
+		pair := outs[0].([2]train.Result)
+		without, with := pair[0], pair[1]
+		res := &CheckpointSequentialResult{
+			Per100WithCkpt:    with.TotalSeconds / 20,
+			Per100WithoutCkpt: without.TotalSeconds / 20,
+		}
+		if with.CheckpointCount > 0 {
+			res.MeasuredCkptSeconds = with.CheckpointSeconds / float64(with.CheckpointCount)
+		}
+		res.Difference = res.Per100WithCkpt - res.Per100WithoutCkpt
+		return res, nil
+	})
 }
 
 // String renders the §IV-B comparison.

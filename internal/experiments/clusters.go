@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/train"
@@ -27,41 +28,46 @@ var paperTableIII = map[model.GPU][]float64{
 	model.V100: {92.38, 95.90, 106.36, 191.72, 93.52},
 }
 
-func runTableIII(seed int64) (Result, error) {
+func planTableIII(seed int64) *campaign.Plan {
 	resnet32 := model.ResNet32()
-	res := &TableIIIResult{StepMs: make(map[model.GPU][]struct{ Mean, Std float64 })}
-	measure := func(g model.GPU, workers []train.WorkerSpec, seedOff int64) error {
+	p := newPlan(seed)
+	declare := func(g model.GPU, label string, workers []train.WorkerSpec) {
 		n := int64(len(workers))
-		r, err := runSession(train.Config{
-			Model:       resnet32,
-			Workers:     workers,
-			TargetSteps: 800 * n,
-			Seed:        seed + seedOff,
-		})
-		if err != nil {
-			return err
-		}
-		ws, err := r.WorkerStatByGPU(g)
-		if err != nil {
-			return err
-		}
-		res.StepMs[g] = append(res.StepMs[g], struct{ Mean, Std float64 }{
-			Mean: ws.MeanStepTime * 1000,
-			Std:  ws.StdStepTime * 1000,
-		})
-		return nil
-	}
-	for gi, g := range model.AllGPUs() {
-		for ci, n := range []int{1, 2, 4, 8} {
-			if err := measure(g, train.Homogeneous(g, n), int64(gi*10+ci)); err != nil {
+		p.unit(fmt.Sprintf("table3/%v/%s", g, label), func(s int64) (any, error) {
+			r, err := runSession(train.Config{
+				Model:       resnet32,
+				Workers:     workers,
+				TargetSteps: 800 * n,
+				Seed:        s,
+			})
+			if err != nil {
 				return nil, err
 			}
-		}
-		if err := measure(g, train.Mixed(2, 1, 1), int64(gi*10+9)); err != nil {
-			return nil, err
-		}
+			ws, err := r.WorkerStatByGPU(g)
+			if err != nil {
+				return nil, err
+			}
+			return [2]float64{ws.MeanStepTime * 1000, ws.StdStepTime * 1000}, nil
+		})
 	}
-	return res, nil
+	for _, g := range model.AllGPUs() {
+		for _, n := range []int{1, 2, 4, 8} {
+			declare(g, fmt.Sprintf("homog-%d", n), train.Homogeneous(g, n))
+		}
+		declare(g, "hetero-2-1-1", train.Mixed(2, 1, 1))
+	}
+	return p.build(func(outs []any) (Result, error) {
+		res := &TableIIIResult{StepMs: make(map[model.GPU][]struct{ Mean, Std float64 })}
+		i := 0
+		for _, g := range model.AllGPUs() {
+			for range tableIIIColumns {
+				ms := outs[i].([2]float64)
+				i++
+				res.StepMs[g] = append(res.StepMs[g], struct{ Mean, Std float64 }{Mean: ms[0], Std: ms[1]})
+			}
+		}
+		return res, nil
+	})
 }
 
 // String renders the per-worker step times with the paper's values.
@@ -86,22 +92,30 @@ type Figure4Result struct {
 	Speeds map[string][]float64
 }
 
-func runFigure4(seed int64) (Result, error) {
-	res := &Figure4Result{Speeds: make(map[string][]float64)}
-	for mi, m := range model.CanonicalModels() {
+func planFigure4(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	for _, m := range model.CanonicalModels() {
 		for n := 1; n <= 8; n++ {
 			steps := int64(600 * n)
 			if m.Name == "ShakeShakeBig" {
 				steps = int64(300 * n) // slow model; fewer steps suffice
 			}
-			speed, err := measureClusterSpeed(m, train.Homogeneous(model.P100, n), 1, steps, seed+int64(mi*10+n))
-			if err != nil {
-				return nil, err
-			}
-			res.Speeds[m.Name] = append(res.Speeds[m.Name], speed)
+			p.unit(fmt.Sprintf("fig4/%s/%d", m.Name, n), func(s int64) (any, error) {
+				return measureClusterSpeed(m, train.Homogeneous(model.P100, n), 1, steps, s)
+			})
 		}
 	}
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure4Result{Speeds: make(map[string][]float64)}
+		i := 0
+		for _, m := range model.CanonicalModels() {
+			for n := 1; n <= 8; n++ {
+				res.Speeds[m.Name] = append(res.Speeds[m.Name], outs[i].(float64))
+				i++
+			}
+		}
+		return res, nil
+	})
 }
 
 // String renders the scaling curves.
@@ -133,49 +147,57 @@ type Figure12Result struct {
 	DetectorDeviation float64
 }
 
-func runFigure12(seed int64) (Result, error) {
-	res := &Figure12Result{Speeds: make(map[string][2][]float64)}
+func planFigure12(seed int64) *campaign.Plan {
+	p := newPlan(seed)
 	models := []model.Model{model.ResNet15(), model.ResNet32()}
-	for mi, m := range models {
-		var both [2][]float64
-		for psIdx, ps := range []int{1, 2} {
+	for _, m := range models {
+		for _, ps := range []int{1, 2} {
 			for n := 1; n <= 8; n++ {
-				speed, err := measureClusterSpeed(m, train.Homogeneous(model.P100, n), ps,
-					int64(700*n), seed+int64(mi*100+psIdx*10+n))
-				if err != nil {
-					return nil, err
-				}
-				both[psIdx] = append(both[psIdx], speed)
-			}
-		}
-		res.Speeds[m.Name] = both
-		for i := range both[0] {
-			if gain := (both[1][i] - both[0][i]) / both[0][i] * 100; gain > res.MaxGainPct {
-				res.MaxGainPct = gain
+				p.unit(fmt.Sprintf("fig12/%s/ps%d/%d", m.Name, ps, n), func(s int64) (any, error) {
+					return measureClusterSpeed(m, train.Homogeneous(model.P100, n), ps, int64(700*n), s)
+				})
 			}
 		}
 	}
-
 	// Detection (§VI-B): compare predicted Σ-speeds against the
 	// measured 8-worker, 1-PS ResNet-32 run.
 	r32 := models[1]
-	run, err := runSession(train.Config{
-		Model:       r32,
-		Workers:     train.Homogeneous(model.P100, 8),
-		TargetSteps: 6000,
-		Seed:        seed + 999,
+	p.unit("fig12/detector", func(s int64) (any, error) {
+		run, err := runSession(train.Config{
+			Model:       r32,
+			Workers:     train.Homogeneous(model.P100, 8),
+			TargetSteps: 6000,
+			Seed:        s,
+		})
+		if err != nil {
+			return nil, err
+		}
+		predicted := 8 / model.StepTimeModel(model.P100, r32)
+		return core.NewDetector().Check(predicted, run.SpeedSeries)
 	})
-	if err != nil {
-		return nil, err
-	}
-	predicted := 8 / model.StepTimeModel(model.P100, r32)
-	verdict, err := core.NewDetector().Check(predicted, run.SpeedSeries)
-	if err != nil {
-		return nil, err
-	}
-	res.DetectorFlagged = verdict.Bottlenecked
-	res.DetectorDeviation = verdict.Deviation
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure12Result{Speeds: make(map[string][2][]float64)}
+		i := 0
+		for _, m := range models {
+			var both [2][]float64
+			for psIdx := range both {
+				for n := 1; n <= 8; n++ {
+					both[psIdx] = append(both[psIdx], outs[i].(float64))
+					i++
+				}
+			}
+			res.Speeds[m.Name] = both
+			for j := range both[0] {
+				if gain := (both[1][j] - both[0][j]) / both[0][j] * 100; gain > res.MaxGainPct {
+					res.MaxGainPct = gain
+				}
+			}
+		}
+		verdict := outs[i].(core.Verdict)
+		res.DetectorFlagged = verdict.Bottlenecked
+		res.DetectorDeviation = verdict.Deviation
+		return res, nil
+	})
 }
 
 // String renders both panels plus the detector outcome.

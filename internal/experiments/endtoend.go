@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/manager"
@@ -27,107 +28,131 @@ type EndToEndResult struct {
 	ActualCostMean float64
 }
 
-func runEndToEnd(seed int64) (Result, error) {
+// validationRun summarizes one managed validation session.
+type validationRun struct {
+	Seconds float64
+	Revoked int
+	Cost    float64
+}
+
+func planEndToEnd(seed int64) *campaign.Plan {
 	const (
-		region = cloud.USCentral1
-		nw     = 64000
-		ic     = 4000
+		region   = cloud.USCentral1
+		nw       = 64000
+		ic       = 4000
+		sessions = 3
 	)
 	resnet32 := model.ResNet32()
+	p := newPlan(seed)
 
-	// 1. Fit the speed model from K80 measurements (§III).
-	ds, err := collectSpeedDataset([]model.GPU{model.K80}, seed)
-	if err != nil {
-		return nil, err
-	}
-	speedModel, err := core.FitSpeedModel(ds.observations(), core.KindSVRRBF)
-	if err != nil {
-		return nil, err
-	}
+	// 1. K80 speed measurements for the Eq. 4 speed model (§III).
+	dataset := p.declareSpeedDataset([]model.GPU{model.K80})
 
-	// 2. Fit the checkpoint model (§IV).
-	ckptModel, err := core.FitCheckpointModel(
-		collectCheckpointDataset(5, seed+1).observations(), core.FeatTotalSize, core.KindSVRRBF)
-	if err != nil {
-		return nil, err
-	}
+	// 2. Checkpoint timings for the Eq. 4 checkpoint model (§IV).
+	ckptIdx := p.unit("endtoend/ckpt-dataset", func(s int64) (any, error) {
+		return collectCheckpointDataset(5, s), nil
+	})
 
-	// 3. Build the revocation estimator from a measurement campaign
-	// (§V, Fig. 8's empirical CDFs with censored survivors).
-	k, p := newCloud(seed + 2)
-	study, err := trace.RunRevocationStudy(k, p, trace.PaperCampaign(), 12)
-	if err != nil {
-		return nil, err
-	}
-	rev := core.NewRevocationEstimator()
-	if err := rev.SetLifetimes(region.String(), model.K80, study.CensoredLifetimes(model.K80, region)); err != nil {
-		return nil, err
-	}
+	// 3. A twelve-day campaign for the revocation estimator (§V,
+	// Fig. 8's empirical CDFs with censored survivors).
+	studyIdx := declareRevocationStudy(p, "endtoend/revstudy")
 
 	// 4. Tp: running-average transient startup time (§V-B).
-	k2, p2 := newCloud(seed + 3)
-	startup, err := trace.RunStartupStudy(k2, p2,
-		[]model.GPU{model.K80}, []cloud.Tier{cloud.Transient}, []cloud.Region{region}, 20)
-	if err != nil {
-		return nil, err
-	}
-	tp := startup[0].MeanTotal
-	ts := train.ReplacementSeconds(resnet32, true) // cold replacement (§V-D)
-
-	predictor := &core.Predictor{
-		Speed:              speedModel,
-		Checkpoint:         ckptModel,
-		Revocation:         rev,
-		ProvisionSeconds:   tp,
-		ReplacementSeconds: ts,
-	}
-	plan := core.Plan{
-		Model: resnet32,
-		Workers: []core.Placement{
-			{GPU: model.K80, Region: region.String(), Transient: true},
-			{GPU: model.K80, Region: region.String(), Transient: true},
-		},
-		TargetSteps:        nw,
-		CheckpointInterval: ic,
-	}
-	est, err := predictor.Estimate(plan)
-	if err != nil {
-		return nil, err
-	}
-
-	// 5. Validate against full managed sessions on the cloud.
-	res := &EndToEndResult{Estimate: est, PredictedCost: est.CostUSD}
-	const sessions = 3
-	var costSum float64
-	for i := int64(0); i < sessions; i++ {
-		k, p := newCloud(seed + 10 + i)
-		s, err := manager.NewSession(p, manager.Config{
-			Model: resnet32,
-			Workers: []manager.Placement{
-				{GPU: model.K80, Region: region, Tier: cloud.Transient},
-				{GPU: model.K80, Region: region, Tier: cloud.Transient},
-			},
-			TargetSteps:        nw,
-			CheckpointInterval: ic,
-			Replacement:        manager.ReplaceImmediate,
-			Seed:               seed + 20 + i,
-		})
+	startupIdx := p.unit("endtoend/startup", func(s int64) (any, error) {
+		k, prov := newCloud(s)
+		startup, err := trace.RunStartupStudy(k, prov,
+			[]model.GPU{model.K80}, []cloud.Tier{cloud.Transient}, []cloud.Region{region}, 20)
 		if err != nil {
 			return nil, err
 		}
-		k.RunUntil(sim.Time(12 * 3600))
-		if !s.Done() {
-			return nil, fmt.Errorf("endtoend: session %d incomplete at %d steps", i, s.Cluster().GlobalStep())
-		}
-		s.TerminateAll()
-		res.ActualSeconds = append(res.ActualSeconds, s.TrainingSeconds())
-		res.ActualRevoked += s.Revocations()
-		costSum += s.Cost()
+		return startup[0].MeanTotal, nil
+	})
+
+	// 5. Full managed sessions on the cloud for validation.
+	valIdx := make([]int, sessions)
+	for i := range valIdx {
+		i := i
+		valIdx[i] = p.unit(fmt.Sprintf("endtoend/session-%d", i), func(s int64) (any, error) {
+			k, prov := newCloud(s)
+			sess, err := manager.NewSession(prov, manager.Config{
+				Model: resnet32,
+				Workers: []manager.Placement{
+					{GPU: model.K80, Region: region, Tier: cloud.Transient},
+					{GPU: model.K80, Region: region, Tier: cloud.Transient},
+				},
+				TargetSteps:        nw,
+				CheckpointInterval: ic,
+				Replacement:        manager.ReplaceImmediate,
+				Seed:               s + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			k.RunUntil(sim.Time(12 * 3600))
+			if !sess.Done() {
+				return nil, fmt.Errorf("endtoend: session %d incomplete at %d steps", i, sess.Cluster().GlobalStep())
+			}
+			sess.TerminateAll()
+			return validationRun{
+				Seconds: sess.TrainingSeconds(),
+				Revoked: sess.Revocations(),
+				Cost:    sess.Cost(),
+			}, nil
+		})
 	}
-	res.MeanActual = stats.Mean(res.ActualSeconds)
-	res.ErrorPct = (est.TotalSeconds - res.MeanActual) / res.MeanActual * 100
-	res.ActualCostMean = costSum / sessions
-	return res, nil
+
+	return p.build(func(outs []any) (Result, error) {
+		speedModel, err := core.FitSpeedModel(dataset(outs).observations(), core.KindSVRRBF)
+		if err != nil {
+			return nil, err
+		}
+		ckptModel, err := core.FitCheckpointModel(
+			outs[ckptIdx].(*checkpointDataset).observations(), core.FeatTotalSize, core.KindSVRRBF)
+		if err != nil {
+			return nil, err
+		}
+		study := outs[studyIdx].(*trace.RevocationStudy)
+		rev := core.NewRevocationEstimator()
+		if err := rev.SetLifetimes(region.String(), model.K80, study.CensoredLifetimes(model.K80, region)); err != nil {
+			return nil, err
+		}
+		tp := outs[startupIdx].(float64)
+		ts := train.ReplacementSeconds(resnet32, true) // cold replacement (§V-D)
+
+		predictor := &core.Predictor{
+			Speed:              speedModel,
+			Checkpoint:         ckptModel,
+			Revocation:         rev,
+			ProvisionSeconds:   tp,
+			ReplacementSeconds: ts,
+		}
+		plan := core.Plan{
+			Model: resnet32,
+			Workers: []core.Placement{
+				{GPU: model.K80, Region: region.String(), Transient: true},
+				{GPU: model.K80, Region: region.String(), Transient: true},
+			},
+			TargetSteps:        nw,
+			CheckpointInterval: ic,
+		}
+		est, err := predictor.Estimate(plan)
+		if err != nil {
+			return nil, err
+		}
+
+		res := &EndToEndResult{Estimate: est, PredictedCost: est.CostUSD}
+		var costSum float64
+		for _, vi := range valIdx {
+			v := outs[vi].(validationRun)
+			res.ActualSeconds = append(res.ActualSeconds, v.Seconds)
+			res.ActualRevoked += v.Revoked
+			costSum += v.Cost
+		}
+		res.MeanActual = stats.Mean(res.ActualSeconds)
+		res.ErrorPct = (est.TotalSeconds - res.MeanActual) / res.MeanActual * 100
+		res.ActualCostMean = costSum / sessions
+		return res, nil
+	})
 }
 
 // String renders the prediction against the measured sessions.

@@ -1,14 +1,20 @@
 // Package experiments regenerates every table and figure of the
-// paper's evaluation. Each runner executes the corresponding
-// measurement methodology on the simulated substrate and renders the
-// result in the same rows/series the paper reports, so shapes can be
-// compared side by side (EXPERIMENTS.md records that comparison).
+// paper's evaluation. Each runner declares its measurement campaign as
+// a grid of independent replications — one simulated session or study
+// per unit, each on its own single-threaded kernel — plus a reduce
+// that renders the result in the same rows/series the paper reports,
+// so shapes can be compared side by side (EXPERIMENTS.md records that
+// comparison). The campaign engine schedules the grid on a worker
+// pool; output is identical at any worker count.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/train"
 )
 
 // Result is a rendered experiment outcome.
@@ -23,31 +29,48 @@ type Runner struct {
 	ID string
 	// Title describes the paper artifact being reproduced.
 	Title string
-	// Run executes the experiment with the given seed.
-	Run func(seed int64) (Result, error)
+	// Plan declares the experiment's replication grid for the given
+	// campaign seed.
+	Plan func(seed int64) *campaign.Plan
 }
 
-// All lists every experiment in paper order.
+// Run executes the experiment sequentially (one worker).
+func (r Runner) Run(seed int64) (Result, error) {
+	return r.RunWorkers(seed, 1)
+}
+
+// RunWorkers executes the experiment's campaign on a pool of the given
+// size. The result is identical for every worker count.
+func (r Runner) RunWorkers(seed int64, workers int) (Result, error) {
+	v, err := campaign.Engine{Workers: workers}.Run(r.Plan(seed))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.ID, err)
+	}
+	return v.(Result), nil
+}
+
+// All lists every experiment in paper order, plus the scenario sweep.
 func All() []Runner {
 	return []Runner{
-		{ID: "table1", Title: "Table I: training speed, simplest cluster (4 models × 3 GPUs)", Run: runTableI},
-		{ID: "fig2", Title: "Fig. 2: training speed vs. steps on K80 (warm-up and stability)", Run: runFigure2},
-		{ID: "fig3", Title: "Fig. 3: step time vs. normalized computation and model complexity", Run: runFigure3},
-		{ID: "table2", Title: "Table II: step-time prediction models (k-fold and test MAE)", Run: runTableII},
-		{ID: "table3", Title: "Table III: per-worker step time in homogeneous/heterogeneous clusters", Run: runTableIII},
-		{ID: "fig4", Title: "Fig. 4: cluster training speed vs. number of P100 workers", Run: runFigure4},
-		{ID: "fig5", Title: "Fig. 5: checkpoint duration vs. checkpoint size", Run: runFigure5},
-		{ID: "ckptseq", Title: "§IV-B: checkpoint overhead is additive (sequential with training)", Run: runCheckpointSequential},
-		{ID: "table4", Title: "Table IV: checkpoint-time prediction models", Run: runTableIV},
-		{ID: "fig6", Title: "Fig. 6: startup time breakdown (transient vs. on-demand)", Run: runFigure6},
-		{ID: "fig7", Title: "Fig. 7: startup time after revocations (immediate vs. delayed)", Run: runFigure7},
-		{ID: "table5", Title: "Table V: transient revocations by region and GPU", Run: runTableV},
-		{ID: "fig8", Title: "Fig. 8: lifetime CDFs by region and GPU", Run: runFigure8},
-		{ID: "fig9", Title: "Fig. 9: time-of-day impact on revocations", Run: runFigure9},
-		{ID: "fig10", Title: "Fig. 10: worker replacement overhead (cold vs. warm)", Run: runFigure10},
-		{ID: "fig11", Title: "Fig. 11: TensorFlow-specific recomputation overhead", Run: runFigure11},
-		{ID: "fig12", Title: "Fig. 12: parameter-server bottleneck detection and mitigation", Run: runFigure12},
-		{ID: "endtoend", Title: "§VI-A: end-to-end training time prediction (Eqs. 4–5)", Run: runEndToEnd},
+		{ID: "table1", Title: "Table I: training speed, simplest cluster (4 models × 3 GPUs)", Plan: planTableI},
+		{ID: "fig2", Title: "Fig. 2: training speed vs. steps on K80 (warm-up and stability)", Plan: planFigure2},
+		{ID: "fig3", Title: "Fig. 3: step time vs. normalized computation and model complexity", Plan: planFigure3},
+		{ID: "table2", Title: "Table II: step-time prediction models (k-fold and test MAE)", Plan: planTableII},
+		{ID: "table3", Title: "Table III: per-worker step time in homogeneous/heterogeneous clusters", Plan: planTableIII},
+		{ID: "fig4", Title: "Fig. 4: cluster training speed vs. number of P100 workers", Plan: planFigure4},
+		{ID: "fig5", Title: "Fig. 5: checkpoint duration vs. checkpoint size", Plan: planFigure5},
+		{ID: "ckptseq", Title: "§IV-B: checkpoint overhead is additive (sequential with training)", Plan: planCheckpointSequential},
+		{ID: "table4", Title: "Table IV: checkpoint-time prediction models", Plan: planTableIV},
+		{ID: "fig6", Title: "Fig. 6: startup time breakdown (transient vs. on-demand)", Plan: planFigure6},
+		{ID: "fig7", Title: "Fig. 7: startup time after revocations (immediate vs. delayed)", Plan: planFigure7},
+		{ID: "table5", Title: "Table V: transient revocations by region and GPU", Plan: planTableV},
+		{ID: "fig8", Title: "Fig. 8: lifetime CDFs by region and GPU", Plan: planFigure8},
+		{ID: "fig9", Title: "Fig. 9: time-of-day impact on revocations", Plan: planFigure9},
+		{ID: "fig10", Title: "Fig. 10: worker replacement overhead (cold vs. warm)", Plan: planFigure10},
+		{ID: "fig11", Title: "Fig. 11: TensorFlow-specific recomputation overhead", Plan: planFigure11},
+		{ID: "fig12", Title: "Fig. 12: parameter-server bottleneck detection and mitigation", Plan: planFigure12},
+		{ID: "endtoend", Title: "§VI-A: end-to-end training time prediction (Eqs. 4–5)", Plan: planEndToEnd},
+		{ID: "sweep", Title: "Scenario sweep: cluster size × GPU × region × tier (measured sessions)", Plan: planDefaultSweep},
 	}
 }
 
@@ -71,6 +94,42 @@ func IDs() []string {
 	return out
 }
 
+// plan accumulates a runner's campaign units in declaration order.
+// Declaration order is the unit index, which fixes each unit's derived
+// seed and the order reduce sees outputs in.
+type plan struct {
+	seed  int64
+	units []campaign.Unit
+}
+
+func newPlan(seed int64) *plan { return &plan{seed: seed} }
+
+// unit declares one replication and returns its index into the reduce
+// outputs.
+func (p *plan) unit(key string, run func(seed int64) (any, error)) int {
+	p.units = append(p.units, campaign.Unit{Key: key, Run: run})
+	return len(p.units) - 1
+}
+
+// session declares one training session on a fresh kernel; the engine
+// supplies the session seed. The unit output is the train.Result.
+func (p *plan) session(key string, cfg train.Config) int {
+	return p.unit(key, func(seed int64) (any, error) {
+		cfg := cfg
+		cfg.Seed = seed
+		return runSession(cfg)
+	})
+}
+
+// build finalizes the plan with a reduce over the declared units.
+func (p *plan) build(reduce func(outs []any) (Result, error)) *campaign.Plan {
+	return &campaign.Plan{
+		Seed:   p.seed,
+		Units:  p.units,
+		Reduce: func(outs []any) (any, error) { return reduce(outs) },
+	}
+}
+
 // table is a minimal text-table builder used by all renderers.
 type table struct {
 	title   string
@@ -92,13 +151,22 @@ func (t *table) addNote(format string, args ...any) {
 }
 
 func (t *table) String() string {
-	widths := make([]int, len(t.headers))
+	// Size columns to the widest cell across headers and rows; ragged
+	// rows (shorter or longer than the header row) widen the grid
+	// rather than panic.
+	cols := len(t.headers)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -8,11 +8,34 @@ import (
 	"repro/internal/model"
 )
 
+// runByID executes one registered experiment sequentially.
+func runByID(t *testing.T, id string, seed int64) Result {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	res, err := r.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// skipShort gates the heaviest campaigns so `go test -short` stays
+// fast; the default run keeps full-depth coverage.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy measurement campaign; skipped in -short mode")
+	}
+}
+
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
 		"ckptseq", "table4", "fig6", "fig7", "table5", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "endtoend",
+		"fig10", "fig11", "fig12", "endtoend", "sweep",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -32,10 +55,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 }
 
 func TestTableI(t *testing.T) {
-	res, err := runTableI(1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "table1", 1)
 	r := res.(*TableIResult)
 	for g, speeds := range PaperTableI {
 		for i, want := range speeds {
@@ -52,10 +72,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
-	res, err := runFigure2(2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig2", 2)
 	r := res.(*Figure2Result)
 	for name, cov := range r.SteadyCoV {
 		if cov > 0.03 {
@@ -76,10 +93,7 @@ func TestFigure2(t *testing.T) {
 }
 
 func TestFigure3(t *testing.T) {
-	res, err := runFigure3(3)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig3", 3)
 	r := res.(*Figure3Result)
 	for _, g := range r.GPUs {
 		if len(r.Points[g]) != 20 {
@@ -98,10 +112,8 @@ func TestFigure3(t *testing.T) {
 }
 
 func TestTableII(t *testing.T) {
-	res, err := runTableII(4)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipShort(t)
+	res := runByID(t, "table2", 4)
 	r := res.(*TableIIResult)
 	if len(r.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8", len(r.Rows))
@@ -138,10 +150,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestTableIII(t *testing.T) {
-	res, err := runTableIII(5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "table3", 5)
 	r := res.(*TableIIIResult)
 	for _, g := range model.AllGPUs() {
 		if len(r.StepMs[g]) != 5 {
@@ -163,10 +172,7 @@ func TestTableIII(t *testing.T) {
 }
 
 func TestFigure4(t *testing.T) {
-	res, err := runFigure4(6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig4", 6)
 	r := res.(*Figure4Result)
 	r15 := r.Speeds["ResNet-15"]
 	r32 := r.Speeds["ResNet-32"]
@@ -189,10 +195,7 @@ func TestFigure4(t *testing.T) {
 }
 
 func TestFigure5(t *testing.T) {
-	res, err := runFigure5(7)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig5", 7)
 	r := res.(*Figure5Result)
 	if len(r.Points) != 20 {
 		t.Fatalf("points = %d, want 20", len(r.Points))
@@ -213,10 +216,7 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestCheckpointSequential(t *testing.T) {
-	res, err := runCheckpointSequential(8)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "ckptseq", 8)
 	r := res.(*CheckpointSequentialResult)
 	if math.Abs(r.Difference-r.MeasuredCkptSeconds) > 0.6 {
 		t.Errorf("difference %.2f s vs measured checkpoint %.2f s — additivity violated",
@@ -228,10 +228,8 @@ func TestCheckpointSequential(t *testing.T) {
 }
 
 func TestTableIV(t *testing.T) {
-	res, err := runTableIV(9)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipShort(t)
+	res := runByID(t, "table4", 9)
 	r := res.(*TableIVResult)
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(r.Rows))
@@ -253,10 +251,7 @@ func TestTableIV(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
-	res, err := runFigure6(10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig6", 10)
 	r := res.(*Figure6Result)
 	if len(r.Summaries) != 8 {
 		t.Fatalf("summaries = %d, want 8", len(r.Summaries))
@@ -269,10 +264,7 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
-	res, err := runFigure7(11)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig7", 11)
 	r := res.(*Figure7Result)
 	if len(r.Immediate) != 3 || len(r.Delayed) != 3 {
 		t.Fatal("expected results for all three GPU types")
@@ -291,10 +283,7 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestTableV(t *testing.T) {
-	res, err := runTableV(12)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "table5", 12)
 	r := res.(*TableVResult)
 	cells := r.Study.TableV()
 	if len(cells) != 12 {
@@ -306,10 +295,7 @@ func TestTableV(t *testing.T) {
 }
 
 func TestFigure8(t *testing.T) {
-	res, err := runFigure8(13)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig8", 13)
 	out := res.String()
 	if !strings.Contains(out, "europe-west1") || !strings.Contains(out, "MTTR") {
 		t.Error("render missing expected content")
@@ -317,10 +303,7 @@ func TestFigure8(t *testing.T) {
 }
 
 func TestFigure9(t *testing.T) {
-	res, err := runFigure9(14)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig9", 14)
 	r := res.(*Figure9Result)
 	k80 := r.Histograms[model.K80]
 	peak, _ := k80.Peak()
@@ -335,10 +318,7 @@ func TestFigure9(t *testing.T) {
 }
 
 func TestFigure10(t *testing.T) {
-	res, err := runFigure10(15)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig10", 15)
 	r := res.(*Figure10Result)
 	r15 := r.Seconds["ResNet-15"]
 	if math.Abs(r15[0]-75.6) > 5 {
@@ -360,10 +340,8 @@ func TestFigure10(t *testing.T) {
 }
 
 func TestFigure11(t *testing.T) {
-	res, err := runFigure11(16)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipShort(t)
+	res := runByID(t, "fig11", 16)
 	r := res.(*Figure11Result)
 	if len(r.OverheadSeconds) != 5 {
 		t.Fatalf("points = %d, want 5", len(r.OverheadSeconds))
@@ -380,10 +358,7 @@ func TestFigure11(t *testing.T) {
 }
 
 func TestFigure12(t *testing.T) {
-	res, err := runFigure12(17)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runByID(t, "fig12", 17)
 	r := res.(*Figure12Result)
 	if r.MaxGainPct < 35 {
 		t.Errorf("max 2-PS gain = %.1f%%, paper reports up to 70.6%%", r.MaxGainPct)
@@ -406,13 +381,8 @@ func TestFigure12(t *testing.T) {
 }
 
 func TestEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("end-to-end validation is the slowest experiment")
-	}
-	res, err := runEndToEnd(18)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipShort(t)
+	res := runByID(t, "endtoend", 18)
 	r := res.(*EndToEndResult)
 	if math.Abs(r.ErrorPct) > 5 {
 		t.Errorf("prediction error = %.2f%%, want within ±5%% (paper: 0.8%%)", r.ErrorPct)

@@ -71,26 +71,40 @@ type speedDataset struct {
 	stepSec map[model.GPU]map[string]float64 // GPU → model name → seconds/step
 }
 
-// collectSpeedDataset measures every zoo model on every given GPU.
-// The paper averages 1400 steps per point; a slightly higher target
-// leaves room for warm-up discard.
-func collectSpeedDataset(gpus []model.GPU, seed int64) (*speedDataset, error) {
-	ds := &speedDataset{
-		gpus:    gpus,
-		models:  model.Zoo(),
-		stepSec: make(map[model.GPU]map[string]float64, len(gpus)),
-	}
+// declareSpeedDataset adds one measurement unit per (GPU, zoo model)
+// pair — the paper averages 1400 steps per point; a slightly higher
+// target leaves room for warm-up discard — and returns a reconstructor
+// that reads those outputs back into a dataset during reduce.
+func (p *plan) declareSpeedDataset(gpus []model.GPU) func(outs []any) *speedDataset {
+	start := len(p.units)
+	models := model.Zoo()
 	for _, g := range gpus {
-		ds.stepSec[g] = make(map[string]float64, len(ds.models))
-		for i, m := range ds.models {
-			mean, _, err := measureWorkerStepTime(g, m, 1500, seed+int64(i)*17+int64(g)*1000)
-			if err != nil {
-				return nil, fmt.Errorf("measuring %s on %v: %w", m.Name, g, err)
-			}
-			ds.stepSec[g][m.Name] = mean
+		for _, m := range models {
+			p.unit(fmt.Sprintf("speed/%v/%s", g, m.Name), func(seed int64) (any, error) {
+				mean, _, err := measureWorkerStepTime(g, m, 1500, seed)
+				if err != nil {
+					return nil, fmt.Errorf("measuring %s on %v: %w", m.Name, g, err)
+				}
+				return mean, nil
+			})
 		}
 	}
-	return ds, nil
+	return func(outs []any) *speedDataset {
+		ds := &speedDataset{
+			gpus:    gpus,
+			models:  models,
+			stepSec: make(map[model.GPU]map[string]float64, len(gpus)),
+		}
+		i := start
+		for _, g := range gpus {
+			ds.stepSec[g] = make(map[string]float64, len(models))
+			for _, m := range models {
+				ds.stepSec[g][m.Name] = outs[i].(float64)
+				i++
+			}
+		}
+		return ds
+	}
 }
 
 // observations converts the dataset into core's fitting format.

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Error("nil input should render empty")
+	}
+	if sparkline([]float64{}) != "" {
+		t.Error("empty input should render empty")
+	}
+	if got := sparkline([]float64{0, 0, 0}); got != "   " {
+		t.Errorf("all-zero input = %q, want three blanks", got)
+	}
+	// Negative values clamp to the lowest level rather than panicking
+	// or indexing out of range.
+	got := []rune(sparkline([]float64{-3, 0, 3}))
+	if len(got) != 3 {
+		t.Fatalf("length = %d, want 3", len(got))
+	}
+	if got[0] != ' ' {
+		t.Errorf("negative value rendered %q, want lowest level", got[0])
+	}
+	if got[2] != '█' {
+		t.Errorf("max value rendered %q, want full block", got[2])
+	}
+	// A single positive value is its own maximum.
+	if s := sparkline([]float64{7}); s != "█" {
+		t.Errorf("single value = %q, want full block", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := newTable("ragged", "col-a", "b")
+	tb.addRow("x")                             // shorter than the header row
+	tb.addRow("longer-than-header", "y", "zz") // extra cell beyond the headers
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want title+header+sep+2 rows", len(lines))
+	}
+	// Column widths absorb the widest cell, including ragged rows.
+	if !strings.Contains(lines[1], "col-a") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "longer-than-header  y") {
+		t.Errorf("wide row misaligned: %q", lines[4])
+	}
+	if !strings.Contains(lines[4], "zz") {
+		t.Errorf("extra cell dropped: %q", lines[4])
+	}
+	// The separator matches the widened first column.
+	if !strings.HasPrefix(lines[2], strings.Repeat("-", len("longer-than-header"))) {
+		t.Errorf("separator not widened: %q", lines[2])
+	}
+}
+
+func TestSortedKeysDeterminism(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	first := sortedKeys(m)
+	for i := 0; i < 50; i++ {
+		again := sortedKeys(m)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("iteration %d: order changed: %v vs %v", i, first, again)
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatalf("keys not ascending: %v", first)
+		}
+	}
+}

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/train"
 )
 
@@ -25,42 +25,63 @@ var paperFigure10 = map[string][2]float64{
 	"ShakeShakeBig":   {90.6, 29.8},
 }
 
-func runFigure10(seed int64) (Result, error) {
-	res := &Figure10Result{Seconds: make(map[string][2]float64)}
+func planFigure10(seed int64) *campaign.Plan {
 	const trials = 20
-	for mi, m := range model.CanonicalModels() {
-		var vals [2]float64
-		for ci, cold := range []bool{true, false} {
-			var acc stats.Accumulator
+	p := newPlan(seed)
+	for _, m := range model.CanonicalModels() {
+		for _, cold := range []bool{true, false} {
 			for trial := 0; trial < trials; trial++ {
-				k := &sim.Kernel{}
-				c, err := train.NewCluster(k, train.Config{
-					Model:         m,
-					Workers:       train.Homogeneous(model.K80, 1),
-					DisableWarmup: true,
-					Seed:          seed + int64(mi*100+ci*30+trial),
+				p.unit(fmt.Sprintf("fig10/%s/cold=%v/%d", m.Name, cold, trial), func(s int64) (any, error) {
+					return figure10Trial(m, cold, s)
 				})
-				if err != nil {
-					return nil, err
-				}
-				c.Start()
-				k.RunUntil(sim.Time(5))
-				requestedAt := k.Now().Seconds()
-				if _, err := c.AddWorker(train.WorkerSpec{GPU: model.K80}, train.JoinMode{Cold: cold}); err != nil {
-					return nil, err
-				}
-				k.RunUntil(sim.Time(400))
-				joins := c.Result().EventsOf(train.EventJoin)
-				if len(joins) != 1 {
-					return nil, fmt.Errorf("figure10: expected one join, got %d", len(joins))
-				}
-				acc.Add(joins[0].Time - requestedAt)
 			}
-			vals[ci] = acc.Mean()
 		}
-		res.Seconds[m.Name] = vals
 	}
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure10Result{Seconds: make(map[string][2]float64)}
+		i := 0
+		for _, m := range model.CanonicalModels() {
+			var vals [2]float64
+			for ci := range vals {
+				var sum float64
+				for trial := 0; trial < trials; trial++ {
+					sum += outs[i].(float64)
+					i++
+				}
+				vals[ci] = sum / trials
+			}
+			res.Seconds[m.Name] = vals
+		}
+		return res, nil
+	})
+}
+
+// figure10Trial runs one replacement trial: a single-K80 session with
+// a worker joining five seconds in, returning the request-to-join
+// latency.
+func figure10Trial(m model.Model, cold bool, seed int64) (float64, error) {
+	k := &sim.Kernel{}
+	c, err := train.NewCluster(k, train.Config{
+		Model:         m,
+		Workers:       train.Homogeneous(model.K80, 1),
+		DisableWarmup: true,
+		Seed:          seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Start()
+	k.RunUntil(sim.Time(5))
+	requestedAt := k.Now().Seconds()
+	if _, err := c.AddWorker(train.WorkerSpec{GPU: model.K80}, train.JoinMode{Cold: cold}); err != nil {
+		return 0, err
+	}
+	k.RunUntil(sim.Time(400))
+	joins := c.Result().EventsOf(train.EventJoin)
+	if len(joins) != 1 {
+		return 0, fmt.Errorf("figure10: expected one join, got %d", len(joins))
+	}
+	return joins[0].Time - requestedAt, nil
 }
 
 // String renders the cold/warm bars.
@@ -91,25 +112,30 @@ type Figure11Result struct {
 	OverheadSeconds []float64
 }
 
-func runFigure11(seed int64) (Result, error) {
+func planFigure11(seed int64) *campaign.Plan {
 	const (
 		ckptInterval = 4000
 		revokeAfter  = 1000 // chief revoked 1k steps past the checkpoint (§V-A)
 	)
-	res := &Figure11Result{}
-	for i, joinAt := range []int64{1500, 2000, 2500, 3000, 3500} {
-		var times [2]float64
-		for vi, reuseIP := range []bool{true, false} {
-			t, err := figure11Trial(seed+int64(i*10+vi), joinAt, reuseIP, ckptInterval, revokeAfter)
-			if err != nil {
-				return nil, err
-			}
-			times[vi] = t
+	joinAts := []int64{1500, 2000, 2500, 3000, 3500}
+	p := newPlan(seed)
+	for _, joinAt := range joinAts {
+		for _, reuseIP := range []bool{true, false} {
+			p.unit(fmt.Sprintf("fig11/%d/reuse=%v", joinAt, reuseIP), func(s int64) (any, error) {
+				return figure11Trial(s, joinAt, reuseIP, ckptInterval, revokeAfter)
+			})
 		}
-		res.StepsSince = append(res.StepsSince, joinAt)
-		res.OverheadSeconds = append(res.OverheadSeconds, times[0]-times[1])
 	}
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure11Result{}
+		for i, joinAt := range joinAts {
+			reuse := outs[2*i].(float64)
+			fresh := outs[2*i+1].(float64)
+			res.StepsSince = append(res.StepsSince, joinAt)
+			res.OverheadSeconds = append(res.OverheadSeconds, reuse-fresh)
+		}
+		return res, nil
+	})
 }
 
 // figure11Trial runs one 2×K80 ResNet-15 session: checkpoint at

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/cloud"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -22,17 +23,32 @@ type Figure6Result struct {
 	Summaries []trace.StartupSummary
 }
 
-func runFigure6(seed int64) (Result, error) {
-	k, p := newCloud(seed)
-	sums, err := trace.RunStartupStudy(k, p,
-		[]model.GPU{model.K80, model.P100},
-		[]cloud.Tier{cloud.Transient, cloud.OnDemand},
-		[]cloud.Region{cloud.USEast1, cloud.USWest1},
-		30)
-	if err != nil {
-		return nil, err
+func planFigure6(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	// One unit per (GPU, region, tier) cell, declared in the order the
+	// legacy single-kernel study reported them.
+	for _, g := range []model.GPU{model.K80, model.P100} {
+		for _, region := range []cloud.Region{cloud.USEast1, cloud.USWest1} {
+			for _, tier := range []cloud.Tier{cloud.Transient, cloud.OnDemand} {
+				p.unit(fmt.Sprintf("fig6/%v/%v/%v", g, region, tier), func(s int64) (any, error) {
+					k, prov := newCloud(s)
+					sums, err := trace.RunStartupStudy(k, prov,
+						[]model.GPU{g}, []cloud.Tier{tier}, []cloud.Region{region}, 30)
+					if err != nil {
+						return nil, err
+					}
+					return sums[0], nil
+				})
+			}
+		}
 	}
-	return &Figure6Result{Summaries: sums}, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure6Result{}
+		for _, o := range outs {
+			res.Summaries = append(res.Summaries, o.(trace.StartupSummary))
+		}
+		return res, nil
+	})
 }
 
 // String renders the stage breakdown.
@@ -57,18 +73,20 @@ type Figure7Result struct {
 	Delayed   []trace.PostRevocationResult
 }
 
-func runFigure7(seed int64) (Result, error) {
-	k1, p1 := newCloud(seed)
-	imm, err := trace.RunPostRevocationStudy(k1, p1, trace.Immediate, 20)
-	if err != nil {
-		return nil, err
+func planFigure7(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	for _, timing := range []trace.AcquisitionTiming{trace.Immediate, trace.Delayed} {
+		p.unit(fmt.Sprintf("fig7/%v", timing), func(s int64) (any, error) {
+			k, prov := newCloud(s)
+			return trace.RunPostRevocationStudy(k, prov, timing, 20)
+		})
 	}
-	k2, p2 := newCloud(seed + 1)
-	del, err := trace.RunPostRevocationStudy(k2, p2, trace.Delayed, 20)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure7Result{Immediate: imm, Delayed: del}, nil
+	return p.build(func(outs []any) (Result, error) {
+		return &Figure7Result{
+			Immediate: outs[0].([]trace.PostRevocationResult),
+			Delayed:   outs[1].([]trace.PostRevocationResult),
+		}, nil
+	})
 }
 
 // String renders both regimes.
@@ -108,13 +126,23 @@ var paperTableV = map[model.GPU]map[cloud.Region]float64{
 	},
 }
 
-func runTableV(seed int64) (Result, error) {
-	k, p := newCloud(seed)
-	study, err := trace.RunRevocationStudy(k, p, trace.PaperCampaign(), 12)
-	if err != nil {
-		return nil, err
-	}
-	return &TableVResult{Study: study}, nil
+func planTableV(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	declareRevocationStudy(p, "revstudy/paper-campaign")
+	return p.build(func(outs []any) (Result, error) {
+		return &TableVResult{Study: outs[0].(*trace.RevocationStudy)}, nil
+	})
+}
+
+// declareRevocationStudy adds one twelve-day paper-campaign unit.
+// Table V and Fig. 8 declare the same key at the same position, so —
+// as in the paper, where both artifacts come from one trace — they
+// render the same campaign for a given seed.
+func declareRevocationStudy(p *plan, key string) int {
+	return p.unit(key, func(s int64) (any, error) {
+		k, prov := newCloud(s)
+		return trace.RunRevocationStudy(k, prov, trace.PaperCampaign(), 12)
+	})
 }
 
 // String renders the per-cell revocation table.
@@ -143,13 +171,12 @@ type Figure8Result struct {
 	Study *trace.RevocationStudy
 }
 
-func runFigure8(seed int64) (Result, error) {
-	k, p := newCloud(seed)
-	study, err := trace.RunRevocationStudy(k, p, trace.PaperCampaign(), 12)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure8Result{Study: study}, nil
+func planFigure8(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	declareRevocationStudy(p, "revstudy/paper-campaign")
+	return p.build(func(outs []any) (Result, error) {
+		return &Figure8Result{Study: outs[0].(*trace.RevocationStudy)}, nil
+	})
 }
 
 // String renders each cell's CDF at fixed horizons plus its MTTR.
@@ -186,28 +213,30 @@ type Figure9Result struct {
 	Histograms map[model.GPU]*stats.HourHistogram
 }
 
-func runFigure9(seed int64) (Result, error) {
+func planFigure9(seed int64) *campaign.Plan {
 	// Aggregate three campaigns for less noisy hour-of-day structure
 	// (the paper aggregates twelve days of launches).
-	res := &Figure9Result{Histograms: make(map[model.GPU]*stats.HourHistogram)}
-	for _, g := range model.AllGPUs() {
-		res.Histograms[g] = &stats.HourHistogram{}
+	p := newPlan(seed)
+	for i := 0; i < 3; i++ {
+		declareRevocationStudy(p, fmt.Sprintf("fig9/study-%d", i))
 	}
-	for i := int64(0); i < 3; i++ {
-		k, p := newCloud(seed + i)
-		study, err := trace.RunRevocationStudy(k, p, trace.PaperCampaign(), 12)
-		if err != nil {
-			return nil, err
-		}
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure9Result{Histograms: make(map[model.GPU]*stats.HourHistogram)}
 		for _, g := range model.AllGPUs() {
-			for h, c := range study.HourHistogram(g).Counts {
-				for j := 0; j < c; j++ {
-					res.Histograms[g].Add(h)
+			res.Histograms[g] = &stats.HourHistogram{}
+		}
+		for _, o := range outs {
+			study := o.(*trace.RevocationStudy)
+			for _, g := range model.AllGPUs() {
+				for h, c := range study.HourHistogram(g).Counts {
+					for j := 0; j < c; j++ {
+						res.Histograms[g].Add(h)
+					}
 				}
 			}
 		}
-	}
-	return res, nil
+		return res, nil
+	})
 }
 
 // String renders each GPU's 24-hour histogram.

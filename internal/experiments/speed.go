@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	"repro/internal/regress"
 	"repro/internal/stats"
@@ -27,27 +28,33 @@ var PaperTableI = map[model.GPU][]float64{
 	model.V100: {27.38, 15.61, 8.80, 2.18},
 }
 
-func runTableI(seed int64) (Result, error) {
-	res := &TableIResult{Speeds: make(map[model.GPU][]struct{ Mean, Std float64 })}
+func planTableI(seed int64) *campaign.Plan {
+	p := newPlan(seed)
 	for _, g := range model.AllGPUs() {
-		for i, m := range model.CanonicalModels() {
+		for _, m := range model.CanonicalModels() {
 			// 4000 measured steps, matching §III-A.
-			r, err := runSession(train.Config{
+			p.session(fmt.Sprintf("table1/%v/%s", g, m.Name), train.Config{
 				Model:       m,
 				Workers:     train.Homogeneous(g, 1),
 				TargetSteps: 4000,
-				Seed:        seed + int64(g)*100 + int64(i),
-			})
-			if err != nil {
-				return nil, err
-			}
-			res.Speeds[g] = append(res.Speeds[g], struct{ Mean, Std float64 }{
-				Mean: r.SteadySpeed,
-				Std:  r.SteadySpeed * r.SpeedCoV,
 			})
 		}
 	}
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &TableIResult{Speeds: make(map[model.GPU][]struct{ Mean, Std float64 })}
+		i := 0
+		for _, g := range model.AllGPUs() {
+			for range model.CanonicalModels() {
+				r := outs[i].(train.Result)
+				i++
+				res.Speeds[g] = append(res.Speeds[g], struct{ Mean, Std float64 }{
+					Mean: r.SteadySpeed,
+					Std:  r.SteadySpeed * r.SpeedCoV,
+				})
+			}
+		}
+		return res, nil
+	})
 }
 
 // String renders the table with the paper's values alongside.
@@ -74,24 +81,26 @@ type Figure2Result struct {
 	SteadyCoV map[string]float64
 }
 
-func runFigure2(seed int64) (Result, error) {
-	res := &Figure2Result{Series: make(map[string][]float64), SteadyCoV: make(map[string]float64)}
-	for i, m := range model.CanonicalModels() {
-		r, err := runSession(train.Config{
+func planFigure2(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	for _, m := range model.CanonicalModels() {
+		p.session(fmt.Sprintf("fig2/%s", m.Name), train.Config{
 			Model:       m,
 			Workers:     train.Homogeneous(model.K80, 1),
 			TargetSteps: 4000,
-			Seed:        seed + int64(i),
 		})
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range r.SpeedSeries {
-			res.Series[m.Name] = append(res.Series[m.Name], s.Speed)
-		}
-		res.SteadyCoV[m.Name] = r.SpeedCoV
 	}
-	return res, nil
+	return p.build(func(outs []any) (Result, error) {
+		res := &Figure2Result{Series: make(map[string][]float64), SteadyCoV: make(map[string]float64)}
+		for i, m := range model.CanonicalModels() {
+			r := outs[i].(train.Result)
+			for _, s := range r.SpeedSeries {
+				res.Series[m.Name] = append(res.Series[m.Name], s.Speed)
+			}
+			res.SteadyCoV[m.Name] = r.SpeedCoV
+		}
+		return res, nil
+	})
 }
 
 // String renders each model's trace as a sparkline plus summary.
@@ -128,12 +137,16 @@ type Fig3Point struct {
 	Cnorm, CmNorm, StepSeconds float64
 }
 
-func runFigure3(seed int64) (Result, error) {
+func planFigure3(seed int64) *campaign.Plan {
 	gpus := []model.GPU{model.K80, model.P100}
-	ds, err := collectSpeedDataset(gpus, seed)
-	if err != nil {
-		return nil, err
-	}
+	p := newPlan(seed)
+	dataset := p.declareSpeedDataset(gpus)
+	return p.build(func(outs []any) (Result, error) {
+		return reduceFigure3(gpus, dataset(outs))
+	})
+}
+
+func reduceFigure3(gpus []model.GPU, ds *speedDataset) (Result, error) {
 	res := &Figure3Result{
 		GPUs:      gpus,
 		Points:    make(map[model.GPU][]Fig3Point),

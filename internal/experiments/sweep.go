@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/cloud"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SweepSpec declares a scenario grid for a measurement campaign: every
+// combination of cluster size, GPU type, region, and pricing tier is
+// one managed training session on the simulated cloud. This is the
+// configuration space the paper's introduction motivates (which
+// servers, how many, transient or on-demand?) explored by measurement
+// rather than by the Eq. 4/5 estimate.
+type SweepSpec struct {
+	Model   model.Model
+	Sizes   []int
+	GPUs    []model.GPU
+	Regions []cloud.Region
+	Tiers   []cloud.Tier
+	// StepsPerWorker scales the training target with cluster size so
+	// every scenario measures a comparable per-worker workload.
+	StepsPerWorker     int64
+	CheckpointInterval int64
+}
+
+// Scenario is one cell of the sweep grid.
+type Scenario struct {
+	Model   model.Model
+	GPU     model.GPU
+	Region  cloud.Region
+	Tier    cloud.Tier
+	Workers int
+}
+
+// Label renders the scenario for table rows and unit keys.
+func (s Scenario) Label() string {
+	return fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
+}
+
+// Scenarios expands the grid in declaration order (GPU → region →
+// tier → size), skipping (region, GPU) cells the cloud does not offer,
+// mirroring the paper's own campaign structure.
+func (s SweepSpec) Scenarios() []Scenario {
+	var out []Scenario
+	for _, g := range s.GPUs {
+		for _, r := range s.Regions {
+			if !cloud.Offered(r, g) {
+				continue
+			}
+			for _, tier := range s.Tiers {
+				for _, n := range s.Sizes {
+					out = append(out, Scenario{Model: s.Model, GPU: g, Region: r, Tier: tier, Workers: n})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScenarioOutcome is one measured scenario.
+type ScenarioOutcome struct {
+	Scenario          Scenario
+	TrainingSeconds   float64
+	SteadySpeed       float64
+	CheckpointCount   int
+	CheckpointSeconds float64
+	CostUSD           float64
+	Revocations       int
+	Replacements      int
+}
+
+// SessionOptions tunes the managed session behind a measurement. The
+// zero value is the sweep default: no dedicated parameter-server
+// count, and the manager's own default replacement policy
+// (ReplaceImmediate).
+type SessionOptions struct {
+	ParameterServers int
+	Replacement      manager.ReplacementPolicy
+	DelaySeconds     float64
+}
+
+// runScenario measures one scenario with a full managed session on a
+// fresh kernel.
+func runScenario(sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
+	k := &sim.Kernel{}
+	provider := cloud.NewProvider(k, stats.NewRng(seed))
+	placements := make([]manager.Placement, sc.Workers)
+	for i := range placements {
+		placements[i] = manager.Placement{GPU: sc.GPU, Region: sc.Region, Tier: sc.Tier}
+	}
+	sess, err := manager.NewSession(provider, manager.Config{
+		Model:              sc.Model,
+		Workers:            placements,
+		ParameterServers:   opts.ParameterServers,
+		TargetSteps:        steps,
+		CheckpointInterval: ic,
+		Replacement:        opts.Replacement,
+		DelaySeconds:       opts.DelaySeconds,
+		Seed:               seed + 1,
+	})
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	// A week of virtual time bounds the run; scenarios that cannot
+	// finish by then fail loudly instead of hanging the sweep.
+	k.RunUntil(sim.Time(7 * 24 * 3600))
+	if !sess.Done() {
+		return ScenarioOutcome{}, fmt.Errorf("%s did not reach %d steps (at %d) within a week of virtual time",
+			sc.Label(), steps, sess.Cluster().GlobalStep())
+	}
+	sess.TerminateAll()
+	res := sess.Cluster().Result()
+	return ScenarioOutcome{
+		Scenario:          sc,
+		TrainingSeconds:   sess.TrainingSeconds(),
+		SteadySpeed:       res.SteadySpeed,
+		CheckpointCount:   res.CheckpointCount,
+		CheckpointSeconds: res.CheckpointSeconds,
+		CostUSD:           sess.Cost(),
+		Revocations:       sess.Revocations(),
+		Replacements:      sess.Replacements(),
+	}, nil
+}
+
+// MeasureScenario measures one scenario with a full managed session —
+// the building block cmd/cmdare and the examples use to validate an
+// Eq. 4/5 pick against the simulated cloud. Unlike SweepSpec.Plan,
+// the step target is explicit rather than scaled per worker.
+func MeasureScenario(sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
+	return runScenario(sc, steps, ic, opts, seed)
+}
+
+// Plan declares the sweep as a campaign: one unit per scenario.
+func (s SweepSpec) Plan(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	scenarios := s.Scenarios()
+	for _, sc := range scenarios {
+		steps := s.StepsPerWorker * int64(sc.Workers)
+		p.unit("sweep/"+sc.Label(), func(unitSeed int64) (any, error) {
+			return runScenario(sc, steps, s.CheckpointInterval, SessionOptions{}, unitSeed)
+		})
+	}
+	return p.build(func(outs []any) (Result, error) {
+		res := &SweepResult{Spec: s}
+		for _, o := range outs {
+			res.Outcomes = append(res.Outcomes, o.(ScenarioOutcome))
+		}
+		return res, nil
+	})
+}
+
+// DefaultSweep is the grid behind the "sweep" experiment ID: the
+// fastest canonical model across every GPU type, two regions with
+// full GPU coverage, both tiers, and three cluster sizes.
+func DefaultSweep() SweepSpec {
+	return SweepSpec{
+		Model:              model.ResNet15(),
+		Sizes:              []int{1, 2, 4},
+		GPUs:               model.AllGPUs(),
+		Regions:            []cloud.Region{cloud.USCentral1, cloud.USWest1},
+		Tiers:              []cloud.Tier{cloud.Transient, cloud.OnDemand},
+		StepsPerWorker:     2000,
+		CheckpointInterval: 1000,
+	}
+}
+
+func planDefaultSweep(seed int64) *campaign.Plan {
+	return DefaultSweep().Plan(seed)
+}
+
+// SweepResult renders the measured grid.
+type SweepResult struct {
+	Spec     SweepSpec
+	Outcomes []ScenarioOutcome
+}
+
+// String renders one row per scenario plus the measured frontier.
+func (r *SweepResult) String() string {
+	t := newTable(fmt.Sprintf("Scenario sweep — %s, %d steps/worker, Ic=%d",
+		r.Spec.Model.Name, r.Spec.StepsPerWorker, r.Spec.CheckpointInterval),
+		"scenario", "steps/s", "time (h)", "cost ($)", "revoked", "replaced", "$/1k steps")
+	for _, o := range r.Outcomes {
+		steps := r.Spec.StepsPerWorker * int64(o.Scenario.Workers)
+		t.addRow(o.Scenario.Label(),
+			fmt.Sprintf("%.2f", o.SteadySpeed),
+			fmt.Sprintf("%.2f", o.TrainingSeconds/3600),
+			fmt.Sprintf("%.2f", o.CostUSD),
+			fmt.Sprintf("%d", o.Revocations),
+			fmt.Sprintf("%d", o.Replacements),
+			fmt.Sprintf("%.3f", o.CostUSD/(float64(steps)/1000)))
+	}
+	if best, ok := r.Cheapest(); ok {
+		t.addNote("cheapest per step: %s ($%.3f/1k steps)", best.Scenario.Label(),
+			best.CostUSD/(float64(r.Spec.StepsPerWorker*int64(best.Scenario.Workers))/1000))
+	}
+	t.addNote("transient tiers trade revocation risk for the paper's ≈70%% price discount")
+	return t.String()
+}
+
+// Cheapest returns the scenario with the lowest cost per training
+// step — the same $/1k-steps quantity the rendered table shows — the
+// headline the cost-planner example optimizes for.
+func (r *SweepResult) Cheapest() (ScenarioOutcome, bool) {
+	if len(r.Outcomes) == 0 {
+		return ScenarioOutcome{}, false
+	}
+	perStep := func(o ScenarioOutcome) float64 {
+		return o.CostUSD / float64(r.Spec.StepsPerWorker*int64(o.Scenario.Workers))
+	}
+	best := r.Outcomes[0]
+	for _, o := range r.Outcomes[1:] {
+		if perStep(o) < perStep(best) {
+			best = o
+		}
+	}
+	return best, true
+}

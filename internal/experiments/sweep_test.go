@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+)
+
+func TestSweepScenarioGridSkipsUnofferedCells(t *testing.T) {
+	spec := SweepSpec{
+		Model:          model.ResNet15(),
+		Sizes:          []int{1, 2},
+		GPUs:           []model.GPU{model.K80, model.V100},
+		Regions:        []cloud.Region{cloud.USEast1, cloud.USCentral1},
+		Tiers:          []cloud.Tier{cloud.Transient},
+		StepsPerWorker: 100,
+	}
+	scenarios := spec.Scenarios()
+	// V100 is not offered in us-east1, so that (region, GPU) cell drops
+	// out: 2 GPUs × 2 regions × 2 sizes − 2 = 6.
+	if len(scenarios) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		if sc.GPU == model.V100 && sc.Region == cloud.USEast1 {
+			t.Errorf("grid kept unoffered cell %s", sc.Label())
+		}
+	}
+	// Declaration order is GPU → region → tier → size.
+	if scenarios[0].Label() != "1×K80 us-east1 transient" {
+		t.Errorf("first scenario = %s", scenarios[0].Label())
+	}
+}
+
+func TestSweepMeasuresEveryScenario(t *testing.T) {
+	spec := SweepSpec{
+		Model:              model.ResNet15(),
+		Sizes:              []int{1, 2},
+		GPUs:               []model.GPU{model.K80},
+		Regions:            []cloud.Region{cloud.USCentral1},
+		Tiers:              []cloud.Tier{cloud.Transient, cloud.OnDemand},
+		StepsPerWorker:     1000,
+		CheckpointInterval: 500,
+	}
+	r := Runner{ID: "sweep-test", Title: "test sweep", Plan: spec.Plan}
+	res, err := r.RunWorkers(21, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := res.(*SweepResult)
+	if len(sw.Outcomes) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(sw.Outcomes))
+	}
+	for _, o := range sw.Outcomes {
+		if o.TrainingSeconds <= 0 || o.SteadySpeed <= 0 || o.CostUSD <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", o.Scenario.Label(), o)
+		}
+		if o.Scenario.Tier == cloud.OnDemand && o.Revocations != 0 {
+			t.Errorf("%s: on-demand scenario reported %d revocations", o.Scenario.Label(), o.Revocations)
+		}
+	}
+	out := sw.String()
+	for _, want := range []string{"Scenario sweep", "2×K80", "on-demand", "cheapest per step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if _, ok := sw.Cheapest(); !ok {
+		t.Error("Cheapest should resolve on a non-empty sweep")
+	}
+}
+
+// TestCampaignDeterminism is the tentpole guarantee: a campaign's
+// rendered output is byte-identical at one worker and at eight.
+func TestCampaignDeterminism(t *testing.T) {
+	ids := []string{"table1", "fig7", "ckptseq", "sweep"}
+	if !testing.Short() {
+		ids = append(ids, "fig9", "fig10")
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			seq, err := r.RunWorkers(42, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := r.RunWorkers(42, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.String() != par.String() {
+				t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// TestTableVAndFigure8ShareTheCampaign pins the paper's structure:
+// Table V and Fig. 8 are two views of one revocation trace, so for a
+// given seed both experiments must render the same campaign.
+func TestTableVAndFigure8ShareTheCampaign(t *testing.T) {
+	tv := runByID(t, "table5", 33).(*TableVResult)
+	f8 := runByID(t, "fig8", 33).(*Figure8Result)
+	a, b := tv.Study.TableV(), f8.Study.TableV()
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

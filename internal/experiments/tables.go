@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	"repro/internal/regress"
 	"repro/internal/stats"
@@ -91,12 +92,16 @@ type TableIIResult struct {
 	Rows []RegressionRow
 }
 
-func runTableII(seed int64) (Result, error) {
+func planTableII(seed int64) *campaign.Plan {
 	gpus := []model.GPU{model.K80, model.P100}
-	ds, err := collectSpeedDataset(gpus, seed)
-	if err != nil {
-		return nil, err
-	}
+	p := newPlan(seed)
+	dataset := p.declareSpeedDataset(gpus)
+	return p.build(func(outs []any) (Result, error) {
+		return reduceTableII(seed, gpus, dataset(outs))
+	})
+}
+
+func reduceTableII(seed int64, gpus []model.GPU, ds *speedDataset) (Result, error) {
 	res := &TableIIResult{}
 	const k = 5
 
@@ -206,8 +211,17 @@ type TableIVResult struct {
 	Rows []RegressionRow
 }
 
-func runTableIV(seed int64) (Result, error) {
-	ds := collectCheckpointDataset(5, seed)
+func planTableIV(seed int64) *campaign.Plan {
+	p := newPlan(seed)
+	p.unit("ckpt-dataset", func(s int64) (any, error) {
+		return collectCheckpointDataset(5, s), nil
+	})
+	return p.build(func(outs []any) (Result, error) {
+		return reduceTableIV(seed, outs[0].(*checkpointDataset))
+	})
+}
+
+func reduceTableIV(seed int64, ds *checkpointDataset) (Result, error) {
 	obs := ds.observations()
 	const k = 5
 

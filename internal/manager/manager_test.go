@@ -69,6 +69,9 @@ func TestSessionRejectsBadConfigs(t *testing.T) {
 }
 
 func TestImmediateReplacementKeepsClusterSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transient-cluster campaign; skipped in -short mode")
+	}
 	// In a high-revocation region with immediate replacement, the
 	// session should absorb revocations and still finish long
 	// workloads; replacements requested ≥ revocations absorbed... and
@@ -99,6 +102,9 @@ func TestImmediateReplacementKeepsClusterSize(t *testing.T) {
 }
 
 func TestReplaceNonePolicyShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transient-cluster campaign; skipped in -short mode")
+	}
 	k, p := newEnv(11)
 	cfg := Config{
 		Model:       model.ResNet15(),
@@ -125,6 +131,9 @@ func TestReplaceNonePolicyShrinks(t *testing.T) {
 }
 
 func TestDelayedReplacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transient-cluster campaign; skipped in -short mode")
+	}
 	k, p := newEnv(17)
 	cfg := Config{
 		Model:        model.ResNet15(),
@@ -148,6 +157,9 @@ func TestDelayedReplacement(t *testing.T) {
 }
 
 func TestMaxReplacementsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transient-cluster campaign; skipped in -short mode")
+	}
 	k, p := newEnv(23)
 	cfg := Config{
 		Model:           model.ResNet15(),
