@@ -1,0 +1,76 @@
+// Command pland is the planning daemon: a long-running HTTP/JSON
+// service that answers scenario queries — "cheapest config to train
+// model M in ≤ H hours", arbitrary sweep grids, single-scenario
+// ETA/cost estimates — against the simulated cloud, the interactive
+// form of the paper's decision-support result (Eqs. 4–5, Tables
+// V–VII).
+//
+// Queries dispatch onto one shared simulation worker pool with a
+// bounded admission queue; identical concurrent queries coalesce into
+// a single simulation, and finished measurements land in a seed-keyed
+// LRU cache so no scenario is ever simulated twice.
+//
+// Usage:
+//
+//	pland [-addr 127.0.0.1:8642] [-workers 8] [-queue 64] [-cache 4096]
+//
+// See README.md §pland for the endpoints and example queries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/planner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8642", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool size")
+		queue   = flag.Int("queue", 64, "bounded admission queue depth")
+		cache   = flag.Int("cache", 4096, "scenario result cache entries (LRU)")
+	)
+	flag.Parse()
+
+	p := planner.New(planner.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	defer p.Close()
+
+	// No read/write timeouts: sweeps stream NDJSON for as long as the
+	// simulations take. Header reads are bounded so an idle half-open
+	// connection cannot pin a goroutine.
+	srv := &http.Server{Addr: *addr, Handler: p.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pland: listening on http://%s (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queue, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pland: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "pland: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "pland: shutdown: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -58,31 +60,41 @@ func run() int {
 		runners = []experiments.Runner{r}
 	}
 
+	start := time.Now()
+	printed, err := writeExperiments(os.Stdout, runners, *seed, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "repro: %d experiment(s) in %.1fs (-parallel %d)\n",
+		printed, time.Since(start).Seconds(), *parallel)
+	return 0
+}
+
+// writeExperiments renders the selected experiments to w in order,
+// streaming each one as soon as it and everything before it finished.
+// This is the canonical stdout of `repro -exp all`; the golden test
+// snapshots exactly this stream. The first failed experiment stops the
+// batch; errors from campaigns still in flight at that moment are
+// joined into the returned error rather than dropped.
+func writeExperiments(w io.Writer, runners []experiments.Runner, seed int64, parallel int) (int, error) {
 	// One shared pool across all selected experiments, so the tail of
-	// one campaign overlaps the head of the next. Results stream in
-	// experiment order as they complete; the first failure stops the
-	// batch and skips unstarted work.
+	// one campaign overlaps the head of the next.
 	plans := make([]*campaign.Plan, len(runners))
 	for i, r := range runners {
-		plans[i] = r.Plan(*seed)
+		plans[i] = r.Plan(seed)
 	}
-	start := time.Now()
-	code := 0
 	printed := 0
-	campaign.Engine{Workers: *parallel}.RunEach(plans, func(i int, o campaign.Outcome) bool {
+	var failed error
+	dropped := campaign.Engine{Workers: parallel}.RunEach(plans, func(i int, o campaign.Outcome) bool {
 		if o.Err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", runners[i].ID, o.Err)
-			code = 1
+			failed = fmt.Errorf("%s: %w", runners[i].ID, o.Err)
 			return false
 		}
-		fmt.Printf("== %s — %s\n\n", runners[i].ID, runners[i].Title)
-		fmt.Println(o.Value.(experiments.Result).String())
+		fmt.Fprintf(w, "== %s — %s\n\n", runners[i].ID, runners[i].Title)
+		fmt.Fprintln(w, o.Value.(experiments.Result).String())
 		printed++
 		return true
 	})
-	if code == 0 {
-		fmt.Fprintf(os.Stderr, "repro: %d experiment(s) in %.1fs (-parallel %d)\n",
-			printed, time.Since(start).Seconds(), *parallel)
-	}
-	return code
+	return printed, errors.Join(failed, dropped)
 }

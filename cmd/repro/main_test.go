@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshots instead of comparing")
+
+// TestReproAllMatchesGolden locks the paper's numbers down: the full
+// `repro -exp all` stdout (seed 42) must match the committed snapshot
+// byte for byte, so refactors of the engine, the experiments, or the
+// renderers cannot silently drift a single digit of any table or
+// figure. After an intentional change, regenerate with
+//
+//	go test ./cmd/repro -run Golden -update
+//
+// and review the snapshot diff like any other code change.
+func TestReproAllMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	runners := experiments.All()
+	var buf bytes.Buffer
+	printed, err := writeExperiments(&buf, runners, 42, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if printed != len(runners) {
+		t.Fatalf("rendered %d experiments, want %d", printed, len(runners))
+	}
+
+	golden := filepath.Join("testdata", "all.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (generate with -update): %v", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("repro -exp all drifted from the committed snapshot:\n%s\nif the change is intentional, regenerate with -update and review the diff",
+			firstDivergence(got, want))
+	}
+}
+
+// firstDivergence renders the first line where got and want differ,
+// with a little context, so a drifted digit is findable without
+// eyeballing ~20 artifacts.
+func firstDivergence(got, want []byte) string {
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	return fmt.Sprintf("line %d: output lengths differ (got %d lines, want %d)", n+1, len(gotLines), len(wantLines))
+}
+
+// TestWriteExperimentsIsWorkerCountInvariant re-renders a cheap subset
+// at several pool sizes and demands byte-identical output — the
+// property the golden snapshot relies on to be stable in CI.
+func TestWriteExperimentsIsWorkerCountInvariant(t *testing.T) {
+	ids := []string{"table1", "fig5", "fig10"}
+	if testing.Short() {
+		ids = []string{"fig5"}
+	}
+	var runners []experiments.Runner
+	for _, id := range ids {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		runners = append(runners, r)
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		if _, err := writeExperiments(&buf, runners, 7, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 8} {
+		if !bytes.Equal(render(workers), want) {
+			t.Fatalf("-parallel %d changed rendered output", workers)
+		}
+	}
+}

@@ -1,80 +1,86 @@
 // Cost planner: the configuration problem the paper's introduction
 // motivates — choosing server type, count, and tier for a training
-// workload while trading off time, cost, and revocation risk. This
-// example sweeps candidate clusters, estimates each with Eqs. 4–5
-// (compute + checkpoint + revocation recovery), prints the time/cost
-// frontier, then validates the chosen plan by measurement: replicated
-// managed sessions of the winning configuration run concurrently on
-// the campaign engine.
+// workload while trading off time, cost, and revocation risk — now
+// phrased as a thin client of the planner service's HTTP API.
 //
-//	go run ./examples/costplanner [-parallel 8]
+// The example scans the candidate space with fast analytic Eq. 4/5
+// estimates (POST /v1/estimate), prints the time/cost frontier, then
+// validates the cheapest plan that makes the deadline with three
+// replicated measured sessions (POST /v1/measure, distinct seeds).
+// Identical follow-up queries are answered from the daemon's cache —
+// the closing /v1/stats line shows the hit counters.
+//
+// By default the example starts an in-process planner server on a
+// loopback port; point -addr at a running `pland` to use a shared
+// daemon instead:
+//
+//	go run ./examples/costplanner [-parallel 8] [-addr host:port]
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"runtime"
 	"sort"
 
-	"repro/internal/campaign"
-	"repro/internal/cloud"
-	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/model"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/train"
+	"repro/internal/planner"
 )
 
 func main() {
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the validation campaign")
-	seed := flag.Int64("seed", 5, "random seed for the validation campaign")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the in-process planner")
+	seed := flag.Int64("seed", 5, "base seed for the validation measurements")
+	addr := flag.String("addr", "", "address of a running pland (default: in-process server)")
 	flag.Parse()
 	const (
-		nw = 128000 // training steps
-		ic = 4000   // checkpoint interval
+		nw       = 128000 // training steps
+		ic       = 4000   // checkpoint interval
+		deadline = 12.0   // hours
 	)
 	workload := model.ShakeShakeSmall()
 
-	predictor, err := buildPredictor(workload)
-	if err != nil {
-		log.Fatal(err)
+	base := *addr
+	if base == "" {
+		// No daemon given: serve the same API in-process and talk to
+		// it over loopback, so this example exercises exactly the wire
+		// path a remote client would.
+		p := planner.New(planner.Config{Workers: *parallel})
+		defer p.Close()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: p.Handler()}
+		go srv.Serve(lis)
+		defer srv.Close()
+		base = lis.Addr().String()
 	}
 
 	type candidate struct {
-		label string
-		plan  core.Plan
-		est   core.Estimate
+		query planner.ScenarioQuery
+		est   planner.EstimateResult
 	}
 	var candidates []candidate
 	for _, gpu := range model.AllGPUs() {
 		for _, n := range []int{1, 2, 4, 8} {
-			for _, transient := range []bool{true, false} {
-				region := cloud.USCentral1 // offers all three GPU types
-				workers := make([]core.Placement, n)
-				for i := range workers {
-					workers[i] = core.Placement{GPU: gpu, Region: region.String(), Transient: transient}
-				}
-				plan := core.Plan{
-					Model:              workload,
-					Workers:            workers,
+			for _, tier := range []string{"transient", "on-demand"} {
+				q := planner.ScenarioQuery{
+					Model:              workload.Name,
+					GPU:                gpu.String(),
+					Region:             "us-central1", // offers all three GPU types
+					Tier:               tier,
+					Workers:            n,
 					TargetSteps:        nw,
 					CheckpointInterval: ic,
 				}
-				est, err := predictor.Estimate(plan)
-				if err != nil {
-					log.Fatal(err)
-				}
-				tier := "on-demand"
-				if transient {
-					tier = "transient"
-				}
-				candidates = append(candidates, candidate{
-					label: fmt.Sprintf("%d × %s %s", n, gpu, tier),
-					plan:  plan,
-					est:   est,
-				})
+				var est planner.EstimateResult
+				post(base, "/v1/estimate", q, &est)
+				candidates = append(candidates, candidate{query: q, est: est})
 			}
 		}
 	}
@@ -82,139 +88,78 @@ func main() {
 	sort.Slice(candidates, func(i, j int) bool {
 		return candidates[i].est.CostUSD < candidates[j].est.CostUSD
 	})
-	fmt.Printf("== cost planner: %s, Nw=%d, Ic=%d (us-central1) ==\n\n", workload.Name, nw, ic)
-	fmt.Printf("%-24s %10s %10s %8s %8s\n", "cluster", "time (h)", "cost ($)", "Nr", "$/1k steps")
+	fmt.Printf("== cost planner: %s, Nw=%d, Ic=%d (us-central1, via %s) ==\n\n", workload.Name, nw, ic, base)
+	fmt.Printf("%-24s %10s %10s %8s %10s\n", "cluster", "time (h)", "cost ($)", "Nr", "$/1k steps")
 	for _, c := range candidates {
 		fmt.Printf("%-24s %10.2f %10.2f %8.2f %10.3f\n",
-			c.label, c.est.TotalSeconds/3600, c.est.CostUSD,
-			c.est.ExpectedRevocations, c.est.CostUSD/(nw/1000))
+			c.est.Scenario, c.est.TotalHours, c.est.CostUSD,
+			c.est.ExpectedRevocations, c.est.CostPer1kSteps)
 	}
 
-	// Cheapest plan that makes a 12-hour deadline.
-	const deadlineHours = 12.0
+	// Cheapest plan that makes the deadline, validated by measurement:
+	// three replicated managed sessions under distinct seeds, all
+	// dispatched to the daemon's shared pool.
 	for _, c := range candidates {
-		if c.est.TotalSeconds/3600 <= deadlineHours {
-			fmt.Printf("\ncheapest plan under %.0f h: %s — %.2f h, $%.2f (≈%.2f expected revocations)\n",
-				deadlineHours, c.label, c.est.TotalSeconds/3600, c.est.CostUSD, c.est.ExpectedRevocations)
-			validate(c.label, c.plan, c.est, *parallel, *seed)
-			return
+		if c.est.TotalHours > deadline {
+			continue
 		}
+		fmt.Printf("\ncheapest plan under %.0f h: %s — %.2f h, $%.2f (≈%.2f expected revocations)\n",
+			deadline, c.est.Scenario, c.est.TotalHours, c.est.CostUSD, c.est.ExpectedRevocations)
+		const replications = 3
+		fmt.Printf("\nvalidating %s with %d measured sessions:\n", c.est.Scenario, replications)
+		var hours, cost float64
+		var revoked int
+		for r := 0; r < replications; r++ {
+			q := c.query
+			q.Seed = *seed + int64(r)
+			var out planner.Outcome
+			post(base, "/v1/measure", q, &out)
+			fmt.Printf("  session %d: %.2f h, $%.2f, %d revocations\n",
+				r+1, out.TrainingHours, out.CostUSD, out.Revocations)
+			hours += out.TrainingHours
+			cost += out.CostUSD
+			revoked += out.Revocations
+		}
+		fmt.Printf("  mean: %.2f h, $%.2f (%d revocations across %d sessions) — predicted %.2f h, $%.2f\n",
+			hours/replications, cost/replications, revoked, replications, c.est.TotalHours, c.est.CostUSD)
+
+		var st planner.Stats
+		get(base, "/v1/stats", &st)
+		fmt.Printf("\nplanner stats: %d misses, %d hits, %d coalesced (repeat this run to watch hits climb)\n",
+			st.Misses, st.Hits, st.Coalesced)
+		return
 	}
-	fmt.Printf("\nno candidate meets the %.0f h deadline\n", deadlineHours)
+	fmt.Printf("\nno candidate meets the %.0f h deadline\n", deadline)
 }
 
-// validate measures the winning plan with replicated managed sessions,
-// scheduled concurrently by the campaign engine, and reports measured
-// time and cost against the Eq. 4/5 estimate.
-func validate(label string, plan core.Plan, est core.Estimate, parallel int, seed int64) {
-	const replications = 3
-	w := plan.Workers[0]
-	region, err := cloud.ParseRegion(w.Region)
+// post sends one JSON query to the planner API and decodes the reply.
+func post(base, path string, in, out any) {
+	body, err := json.Marshal(in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tier := cloud.OnDemand
-	if w.Transient {
-		tier = cloud.Transient
-	}
-	scenario := experiments.Scenario{
-		Model:   plan.Model,
-		GPU:     w.GPU,
-		Region:  region,
-		Tier:    tier,
-		Workers: len(plan.Workers),
-	}
-	cp := &campaign.Plan{Seed: seed}
-	for i := 0; i < replications; i++ {
-		cp.Units = append(cp.Units, campaign.Unit{
-			Key: fmt.Sprintf("validate/%d", i),
-			Run: func(unitSeed int64) (any, error) {
-				return experiments.MeasureScenario(scenario, plan.TargetSteps, plan.CheckpointInterval, experiments.SessionOptions{}, unitSeed)
-			},
-		})
-	}
-	v, err := campaign.Engine{Workers: parallel}.Run(cp)
+	resp, err := http.Post("http://"+base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nvalidating %s with %d measured sessions:\n", label, replications)
-	var hours, cost float64
-	var revoked int
-	for i, o := range v.([]any) {
-		out := o.(experiments.ScenarioOutcome)
-		fmt.Printf("  session %d: %.2f h, $%.2f, %d revocations\n",
-			i+1, out.TrainingSeconds/3600, out.CostUSD, out.Revocations)
-		hours += out.TrainingSeconds / 3600
-		cost += out.CostUSD
-		revoked += out.Revocations
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		log.Fatalf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg.Bytes()))
 	}
-	hours /= replications
-	cost /= replications
-	fmt.Printf("  mean: %.2f h, $%.2f (%d revocations across %d sessions) — predicted %.2f h, $%.2f\n",
-		hours, cost, revoked, replications, est.TotalSeconds/3600, est.CostUSD)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// buildPredictor assembles Eq. 4/5 inputs: per-GPU speed models, a
-// checkpoint model, and revocation CDFs measured from the simulated
-// cloud.
-func buildPredictor(workload model.Model) (*core.Predictor, error) {
-	var speedObs []core.SpeedObservation
-	for _, g := range model.AllGPUs() {
-		for _, m := range model.Zoo() {
-			speedObs = append(speedObs, core.SpeedObservation{
-				GPU: g, GFLOPs: m.GFLOPs, StepSeconds: model.StepTimeModel(g, m),
-			})
-		}
-	}
-	speed, err := core.FitSpeedModel(speedObs, core.KindSVRRBF)
+func get(base, path string, out any) {
+	resp, err := http.Get("http://" + base + path)
 	if err != nil {
-		return nil, err
+		log.Fatal(err)
 	}
-
-	rng := stats.NewRng(3)
-	var ckptObs []core.CheckpointObservation
-	for _, m := range model.Zoo() {
-		for i := 0; i < 5; i++ {
-			ckptObs = append(ckptObs, core.CheckpointObservation{
-				DataBytes:  m.CkptDataBytes,
-				MetaBytes:  m.CkptMetaBytes,
-				IndexBytes: m.CkptIndexBytes,
-				Seconds:    rng.LogNormal(train.CheckpointSeconds(m), 0.04),
-			})
-		}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
 	}
-	ckpt, err := core.FitCheckpointModel(ckptObs, core.FeatTotalSize, core.KindSVRRBF)
-	if err != nil {
-		return nil, err
-	}
-
-	rev := core.NewRevocationEstimator()
-	for _, g := range model.AllGPUs() {
-		k := &sim.Kernel{}
-		p := cloud.NewProvider(k, stats.NewRng(int64(g)*11))
-		for i := 0; i < 300; i++ {
-			g := g
-			// Stagger launches across the day so time-of-day hazard
-			// structure (Fig. 9) is sampled evenly.
-			k.At(sim.Time(float64(i%24)*3600), func() {
-				p.MustLaunch(cloud.Request{Region: cloud.USCentral1, GPU: g, Tier: cloud.Transient})
-			})
-		}
-		k.Run()
-		var lifetimes []float64
-		for _, in := range p.Instances() {
-			lifetimes = append(lifetimes, in.LifetimeSeconds(k.Now())/3600)
-		}
-		if err := rev.SetLifetimes(cloud.USCentral1.String(), g, lifetimes); err != nil {
-			return nil, err
-		}
-	}
-
-	return &core.Predictor{
-		Speed:              speed,
-		Checkpoint:         ckpt,
-		Revocation:         rev,
-		ProvisionSeconds:   70,
-		ReplacementSeconds: train.ReplacementSeconds(workload, true),
-	}, nil
 }

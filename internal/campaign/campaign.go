@@ -15,6 +15,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,16 +64,119 @@ type Outcome struct {
 	Err   error
 }
 
+// ErrSkipped marks a unit that never ran because its batch stopped
+// (done returned false) or its context was canceled. Skipped units are
+// bookkeeping, not failures: the aggregated error RunEach returns
+// filters them out.
+var ErrSkipped = errors.New("campaign: unit skipped")
+
+// Pool is a persistent worker pool with a bounded admission queue,
+// shared by any number of Engine calls. The per-call pool Engine spins
+// up is right for batch runs (cmd/repro); a long-running service that
+// answers many concurrent queries wants one fixed set of workers and
+// one queue providing backpressure across all of them — that is Pool.
+type Pool struct {
+	jobs chan func()
+	done chan struct{}
+	// mu orders Submit against Close: senders hold it shared for the
+	// duration of their send, Close takes it exclusively before
+	// closing jobs, so a send on a closed channel is impossible.
+	mu        sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// ErrPoolClosed reports a Submit on a closed pool.
+var ErrPoolClosed = errors.New("campaign: pool closed")
+
+// NewPool starts a pool of workers goroutines fed by a queue holding
+// up to queue pending jobs (0 means hand-off only: every Submit waits
+// for a free worker). Workers ≤ 0 uses GOMAXPROCS.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{jobs: make(chan func(), queue), done: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues one job, blocking while the queue is full. It
+// returns the context's error if ctx is done — or ErrPoolClosed if the
+// pool closes — before the job is accepted; once accepted, the job
+// will run.
+func (p *Pool) Submit(ctx context.Context, job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	// Fast path: queue has room (or a worker is waiting).
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-p.done:
+		// Close started while we were waiting for queue space.
+		return ErrPoolClosed
+	}
+}
+
+// Close stops accepting jobs, waits for in-flight submissions to
+// resolve, then drains the queue and joins the workers. A submission
+// accepted before Close wins the race still runs.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done) // unblock submitters waiting on a full queue
+		p.mu.Lock()   // waits out every sender holding the shared lock
+		p.closed = true
+		p.mu.Unlock()
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}
+
 // Engine runs plans on a pool of Workers goroutines. The zero value
-// (or any Workers ≤ 0) uses GOMAXPROCS.
+// (or any Workers ≤ 0) uses GOMAXPROCS. When Pool is set, execution is
+// dispatched onto that shared pool instead and Workers is ignored: the
+// pool's size bounds concurrency across every engine sharing it.
 type Engine struct {
 	Workers int
+	Pool    *Pool
 }
 
 // Run executes a single plan and returns its reduced value.
 func (e Engine) Run(p *Plan) (any, error) {
-	o := e.RunAll([]*Plan{p})[0]
-	return o.Value, o.Err
+	return e.RunContext(context.Background(), p)
+}
+
+// RunContext is Run with cancellation: units not yet started when ctx
+// is done are skipped and surface as ErrSkipped-wrapped unit errors.
+func (e Engine) RunContext(ctx context.Context, p *Plan) (any, error) {
+	var out Outcome
+	e.RunEachContext(ctx, []*Plan{p}, func(i int, o Outcome) bool {
+		out = o
+		return true
+	})
+	return out.Value, out.Err
 }
 
 // RunAll executes several plans on one shared worker pool, so the tail
@@ -96,7 +201,23 @@ func (e Engine) RunAll(plans []*Plan) []Outcome {
 // finish) and no further callbacks fire. Because delivery order is
 // declaration order, the sequence of callbacks before a stop is
 // identical for every worker count.
-func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
+//
+// A stop can strand real failures: units already in flight when done
+// returned false still finish, and their plans are never delivered.
+// Rather than dropping those errors on the floor, RunEach returns them
+// aggregated (errors.Join of UnitErrors) once every in-flight unit has
+// retired; nil means nothing was lost.
+func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) error {
+	return e.RunEachContext(context.Background(), plans, done)
+}
+
+// RunEachContext is RunEach with cancellation. When ctx is done, units
+// not yet started are skipped (recorded as ErrSkipped-wrapped errors in
+// their plans' outcomes) while in-flight units finish; delivery still
+// runs to completion so every plan gets its callback. The returned
+// error aggregates the context's cause with any real unit errors whose
+// plans were never delivered after a stop.
+func (e Engine) RunEachContext(ctx context.Context, plans []*Plan, done func(i int, o Outcome) bool) error {
 	type job struct{ plan, unit int }
 	var jobs []job
 	outs := make([][]any, len(plans))
@@ -125,10 +246,12 @@ func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
 	// every unit not yet started.
 	var stop atomic.Bool
 	completed := make([]bool, len(plans))
+	delivered := make([]bool, len(plans))
 	next := 0
 	deliver := func(pi int) {
 		completed[pi] = true
 		for next < len(plans) && completed[next] {
+			delivered[next] = true
 			if !done(next, reduce(plans[next], outs[next], errs[next])) {
 				stop.Store(true)
 				next = len(plans)
@@ -148,7 +271,9 @@ func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
 	run := func(j job) {
 		p := plans[j.plan]
 		if stop.Load() {
-			errs[j.plan][j.unit] = fmt.Errorf("skipped: batch stopped")
+			errs[j.plan][j.unit] = fmt.Errorf("%w: batch stopped", ErrSkipped)
+		} else if cause := context.Cause(ctx); cause != nil {
+			errs[j.plan][j.unit] = fmt.Errorf("%w: %v", ErrSkipped, cause)
 		} else {
 			u := p.Units[j.unit]
 			out, err := runUnit(u, Derive(p.Seed, uint64(j.unit), u.Key))
@@ -163,9 +288,39 @@ func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
 		}
 	}
 
-	if workers <= 1 {
+	// Every plan with units announces exactly once.
+	announcing := 0
+	for _, p := range plans {
+		if len(p.Units) > 0 {
+			announcing++
+		}
+	}
+
+	switch {
+	case e.Pool != nil:
+		// Shared pool: submissions ride the pool's bounded queue, so a
+		// full queue backpressures this call without starving other
+		// engines. A submission aborted by ctx retires its unit here.
+		for _, j := range jobs {
+			j := j
+			if err := e.Pool.Submit(ctx, func() { run(j) }); err != nil {
+				errs[j.plan][j.unit] = fmt.Errorf("%w: %v", ErrSkipped, err)
+				if remaining[j.plan].Add(-1) == 0 {
+					planReady <- j.plan
+				}
+			}
+		}
+		// Drain every announcement even after a stop: receiving them
+		// all is what guarantees in-flight units have retired before
+		// the dropped-error scan below.
+		for n := 0; n < announcing; n++ {
+			deliver(<-planReady)
+		}
+
+	case workers <= 1:
 		// Sequential mode interleaves execution and delivery on one
-		// goroutine, so a stop takes effect before the next unit runs.
+		// goroutine, so a stop takes effect before the next unit runs
+		// and nothing is ever in flight when it does.
 		for _, j := range jobs {
 			if stop.Load() {
 				break
@@ -180,36 +335,50 @@ func (e Engine) RunEach(plans []*Plan, done func(i int, o Outcome) bool) {
 				}
 			}
 		}
-		return
+
+	default:
+		ch := make(chan job, len(jobs))
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					run(j)
+				}
+			}()
+		}
+		for n := 0; n < announcing && next < len(plans); n++ {
+			deliver(<-planReady)
+		}
+		// Joining the workers publishes every in-flight unit's error
+		// slot before the dropped-error scan.
+		wg.Wait()
 	}
 
-	ch := make(chan job, len(jobs))
-	for _, j := range jobs {
-		ch <- j
+	// Surface what fail-fast would otherwise lose: real errors from
+	// units that finished after the stop, in plans that were never
+	// handed to done.
+	var droppedErrs []error
+	if cause := context.Cause(ctx); cause != nil {
+		droppedErrs = append(droppedErrs, cause)
 	}
-	close(ch)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				run(j)
+	for pi, p := range plans {
+		if delivered[pi] {
+			continue
+		}
+		for ui, err := range errs[pi] {
+			if err == nil || errors.Is(err, ErrSkipped) {
+				continue
 			}
-		}()
-	}
-	// Every plan with units announces exactly once; stop short-circuits
-	// the wait for plans that will never be delivered.
-	announcing := 0
-	for _, p := range plans {
-		if len(p.Units) > 0 {
-			announcing++
+			droppedErrs = append(droppedErrs, &UnitError{Key: p.Units[ui].Key, Index: ui, Err: err})
 		}
 	}
-	for n := 0; n < announcing && next < len(plans); n++ {
-		deliver(<-planReady)
-	}
-	wg.Wait()
+	return errors.Join(droppedErrs...)
 }
 
 // reduce resolves one plan: the first failed unit in declaration order

@@ -425,3 +425,15 @@ func TestInstanceStateStrings(t *testing.T) {
 		t.Error("Tier stringer broken")
 	}
 }
+
+func TestParseTierRoundTrips(t *testing.T) {
+	for _, tier := range []Tier{OnDemand, Transient} {
+		got, err := ParseTier(tier.String())
+		if err != nil || got != tier {
+			t.Fatalf("ParseTier(%q) = %v, %v", tier.String(), got, err)
+		}
+	}
+	if _, err := ParseTier("spot"); err == nil {
+		t.Fatal("ParseTier accepted an unknown tier name")
+	}
+}

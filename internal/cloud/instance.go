@@ -31,6 +31,18 @@ func (t Tier) String() string {
 	}
 }
 
+// ParseTier maps a tier name back to its constant.
+func ParseTier(name string) (Tier, error) {
+	switch name {
+	case OnDemand.String():
+		return OnDemand, nil
+	case Transient.String():
+		return Transient, nil
+	default:
+		return 0, fmt.Errorf("cloud: unknown tier %q (want on-demand or transient)", name)
+	}
+}
+
 // State is an instance lifecycle state. The provisioning → staging →
 // running progression mirrors the GCE instance life cycle the paper
 // instruments (§V-A).

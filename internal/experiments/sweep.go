@@ -43,6 +43,25 @@ func (s Scenario) Label() string {
 	return fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
 }
 
+// Key is the scenario's canonical identity: a stable, unambiguous
+// field=value encoding that does not depend on which grid produced the
+// scenario or on display formatting. The planner's result cache and
+// singleflight coalescing key on it (plus workload target and seed —
+// see ScenarioKey), so any two queries that mean the same measurement
+// share one cache line no matter how they were phrased.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d",
+		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers)
+}
+
+// ScenarioKey canonically identifies one measured scenario run: the
+// scenario identity plus the workload target and checkpoint interval
+// that parameterize the session. Appending the campaign seed to this
+// string yields the planner's full cache key.
+func ScenarioKey(sc Scenario, steps, checkpointInterval int64) string {
+	return fmt.Sprintf("%s|steps=%d|ic=%d", sc.Key(), steps, checkpointInterval)
+}
+
 // Scenarios expands the grid in declaration order (GPU → region →
 // tier → size), skipping (region, GPU) cells the cloud does not offer,
 // mirroring the paper's own campaign structure.

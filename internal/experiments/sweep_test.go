@@ -117,3 +117,35 @@ func TestTableVAndFigure8ShareTheCampaign(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
+	sc := Scenario{Model: model.ResNet15(), GPU: model.P100, Region: cloud.USWest1, Tier: cloud.Transient, Workers: 4}
+	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4"
+	if got := sc.Key(); got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// The same scenario expanded from two differently-shaped grids must
+	// share one key: that is what makes the planner cache coherent
+	// across arbitrary query grids.
+	wide := SweepSpec{Model: model.ResNet15(), Sizes: []int{1, 2, 4}, GPUs: model.AllGPUs(),
+		Regions: []cloud.Region{cloud.USWest1}, Tiers: []cloud.Tier{cloud.Transient}}
+	narrow := SweepSpec{Model: model.ResNet15(), Sizes: []int{4}, GPUs: []model.GPU{model.P100},
+		Regions: []cloud.Region{cloud.USWest1}, Tiers: []cloud.Tier{cloud.Transient}}
+	keys := func(spec SweepSpec) map[string]bool {
+		m := make(map[string]bool)
+		for _, s := range spec.Scenarios() {
+			m[s.Key()] = true
+		}
+		return m
+	}
+	if !keys(wide)[sc.Key()] || !keys(narrow)[sc.Key()] {
+		t.Fatal("identical scenarios from different grids derived different keys")
+	}
+	// Every cell of a grid keys uniquely.
+	if got, want := len(keys(wide)), len(wide.Scenarios()); got != want {
+		t.Fatalf("grid of %d scenarios produced %d distinct keys", want, got)
+	}
+	if got, want := ScenarioKey(sc, 8000, 1000), want+"|steps=8000|ic=1000"; got != want {
+		t.Fatalf("ScenarioKey = %q, want %q", got, want)
+	}
+}

@@ -41,6 +41,16 @@ func (g GPU) String() string {
 // Valid reports whether g is one of the cataloged types.
 func (g GPU) Valid() bool { return g >= K80 && g <= V100 }
 
+// ParseGPU maps a marketing name back to its catalog constant.
+func ParseGPU(name string) (GPU, error) {
+	for _, g := range AllGPUs() {
+		if g.String() == name {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown GPU %q (want K80, P100, or V100)", name)
+}
+
 // GPUSpec describes a cataloged GPU type.
 type GPUSpec struct {
 	GPU       GPU

@@ -243,3 +243,15 @@ func TestComputationRatio(t *testing.T) {
 		t.Fatalf("ComputationRatio = %v, want %v", got, want)
 	}
 }
+
+func TestParseGPURoundTrips(t *testing.T) {
+	for _, g := range AllGPUs() {
+		got, err := ParseGPU(g.String())
+		if err != nil || got != g {
+			t.Fatalf("ParseGPU(%q) = %v, %v", g.String(), got, err)
+		}
+	}
+	if _, err := ParseGPU("TPUv4"); err == nil {
+		t.Fatal("ParseGPU accepted an uncataloged name")
+	}
+}

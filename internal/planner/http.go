@@ -1,0 +1,152 @@
+package planner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+// Handler serves the planner's HTTP/JSON API:
+//
+//	GET  /healthz      liveness
+//	GET  /v1/stats     cache and coalescing counters
+//	GET  /v1/catalog   models, GPUs, regions, tiers, experiment IDs
+//	POST /v1/estimate  analytic Eq. 4/5 estimate for one scenario
+//	POST /v1/measure   one measured session (cached, coalesced)
+//	POST /v1/sweep     measure a grid; streams NDJSON, one line per cell
+//	POST /v1/cheapest  cheapest grid cell meeting a deadline
+//
+// Every request runs under its own context: a client that disconnects
+// cancels the scenarios it had not yet dispatched.
+func (p *Planner) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Stats())
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, catalog())
+	})
+	mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var q ScenarioQuery
+		if !decode(w, r, &q) {
+			return
+		}
+		res, err := p.Estimate(r.Context(), q)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("POST /v1/measure", func(w http.ResponseWriter, r *http.Request) {
+		var q ScenarioQuery
+		if !decode(w, r, &q) {
+			return
+		}
+		res, err := p.Measure(r.Context(), q)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("POST /v1/cheapest", func(w http.ResponseWriter, r *http.Request) {
+		var q CheapestQuery
+		if !decode(w, r, &q) {
+			return
+		}
+		res, err := p.Cheapest(r.Context(), q)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var q SweepQuery
+		if !decode(w, r, &q) {
+			return
+		}
+		// Validate before the first byte is written: after that the
+		// status line is gone and errors can only end the stream.
+		spec, err := q.Spec()
+		if err != nil {
+			writeErr(w, &BadRequestError{err})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		_ = p.Sweep(r.Context(), spec, q.Seed, func(item SweepItem) error {
+			if err := enc.Encode(item); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	})
+	return mux
+}
+
+// Catalog lists what the planner can be asked about.
+type Catalog struct {
+	Models      []string `json:"models"`
+	GPUs        []string `json:"gpus"`
+	Regions     []string `json:"regions"`
+	Tiers       []string `json:"tiers"`
+	Experiments []string `json:"experiments"`
+}
+
+func catalog() Catalog {
+	c := Catalog{Experiments: experiments.IDs()}
+	for _, m := range model.Zoo() {
+		c.Models = append(c.Models, m.Name)
+	}
+	for _, g := range model.AllGPUs() {
+		c.GPUs = append(c.GPUs, g.String())
+	}
+	for _, r := range cloud.AllRegions() {
+		c.Regions = append(c.Regions, r.String())
+	}
+	c.Tiers = []string{cloud.OnDemand.String(), cloud.Transient.String()}
+	return c
+}
+
+// maxBodyBytes bounds a request body; the largest legal query (a
+// maxGridCells-wide sizes array) is well under 1 MiB, so anything
+// bigger is rejected before it can be materialized.
+const maxBodyBytes = 1 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	if errors.As(err, &bad) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

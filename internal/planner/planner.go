@@ -1,0 +1,586 @@
+// Package planner turns the repo's batch measurement campaigns into
+// an interactive what-if service: the decision-support payoff of the
+// paper (pick cluster size, GPU type, region, and tier under
+// revocation risk to hit a cost/time target, Eqs. 4–5 and Tables
+// V–VII) answered as queries against a long-running daemon rather
+// than re-run scripts.
+//
+// The planner adds what the batch path lacks:
+//
+//   - a seed-keyed LRU result cache: a simulated session is a pure
+//     function of (canonical scenario key, campaign seed), so a
+//     repeated query is a lookup, never a second simulation;
+//   - singleflight coalescing: concurrent identical queries share one
+//     simulation run;
+//   - a shared campaign.Pool with a bounded admission queue, so heavy
+//     query traffic backpressures instead of forking unbounded work;
+//   - per-request contexts: a disconnected or canceled client stops
+//     dispatching its remaining scenarios.
+//
+// cmd/pland serves this over HTTP/JSON; examples/costplanner is a
+// thin client of the same API.
+package planner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+// Per-query bounds: a single request may not fan out wider than the
+// service can hold in memory, however the grid was phrased. Both are
+// generous multiples of anything the paper's configuration space
+// needs.
+const (
+	// maxWorkersPerScenario caps the cluster size of one scenario.
+	maxWorkersPerScenario = 1024
+	// maxGridCells caps the expanded scenario count of one sweep or
+	// cheapest query.
+	maxGridCells = 4096
+)
+
+// Config sizes the planner.
+type Config struct {
+	// Workers is the shared simulation pool size (≤ 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue feeding the pool; a full
+	// queue blocks new dispatch until a slot frees, providing
+	// backpressure across all concurrent queries (≤ 0: 64).
+	QueueDepth int
+	// CacheSize is the LRU capacity in scenario outcomes (≤ 0: 4096).
+	CacheSize int
+}
+
+// Stats is a point-in-time snapshot of the planner's cache and
+// coalescing counters.
+type Stats struct {
+	// Hits counts queries answered straight from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts simulations actually run (singleflight leaders).
+	Misses int64 `json:"misses"`
+	// Coalesced counts queries that piggybacked on an identical
+	// in-flight simulation instead of running their own.
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts cache entries displaced by capacity.
+	Evictions int64 `json:"evictions"`
+	// CacheEntries is the current cache population.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Planner answers scenario queries on a shared simulation pool.
+type Planner struct {
+	pool    *campaign.Pool
+	cache   *lru
+	flights flightGroup
+
+	hits, misses, coalesced, evictions atomic.Int64
+
+	// measure runs one scenario simulation; swapped out by tests to
+	// count and stub runs.
+	measure func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, error)
+
+	analytic analytic
+}
+
+// New starts a planner with its worker pool. Close releases the pool.
+func New(cfg Config) *Planner {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	return &Planner{
+		pool:  campaign.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache: newLRU(cfg.CacheSize),
+		measure: func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, error) {
+			return experiments.MeasureScenario(sc, steps, ic, experiments.SessionOptions{}, seed)
+		},
+	}
+}
+
+// Close drains and stops the shared pool.
+func (p *Planner) Close() { p.pool.Close() }
+
+// Stats snapshots the counters.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Coalesced:    p.coalesced.Load(),
+		Evictions:    p.evictions.Load(),
+		CacheEntries: p.cache.Len(),
+	}
+}
+
+// cacheKey is the planner's full result identity: canonical scenario
+// key (grid-shape independent) plus the campaign seed. The simulation
+// seed handed to the kernel is campaign.Derive(seed, 0, scenario key),
+// a pure function of this same identity — so equal keys are guaranteed
+// equal outcomes and the cache can never serve a wrong answer.
+func cacheKey(sc experiments.Scenario, steps, ic, seed int64) string {
+	return fmt.Sprintf("%s|seed=%d", experiments.ScenarioKey(sc, steps, ic), seed)
+}
+
+// interruptedError reports errors meaning the measurement never ran
+// (skipped, canceled, pool shut down) — as opposed to a scenario that
+// ran and failed on its own terms (e.g. the week-of-virtual-time cap).
+func interruptedError(err error) bool {
+	return errors.Is(err, campaign.ErrSkipped) ||
+		errors.Is(err, campaign.ErrPoolClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// measureCached is every measured query's path: cache, then
+// singleflight, then one unit dispatched onto the shared pool.
+func (p *Planner) measureCached(ctx context.Context, sc experiments.Scenario, steps, ic, seed int64) (out experiments.ScenarioOutcome, cached bool, err error) {
+	key := cacheKey(sc, steps, ic, seed)
+	for {
+		if v, ok := p.cache.Get(key); ok {
+			p.hits.Add(1)
+			return v, true, nil
+		}
+		var leaderHit bool
+		v, shared, err := p.flights.Do(ctx, key, func() (experiments.ScenarioOutcome, error) {
+			// Re-check under flight leadership: a previous leader may
+			// have filled the cache between our miss and our Do —
+			// becoming the new leader then must not re-simulate a
+			// cached key.
+			if v, ok := p.cache.Get(key); ok {
+				p.hits.Add(1)
+				leaderHit = true
+				return v, nil
+			}
+			p.misses.Add(1)
+			out, err := p.simulate(ctx, sc, steps, ic, seed)
+			if err == nil {
+				if p.cache.Add(key, out) {
+					p.evictions.Add(1)
+				}
+			}
+			return out, err
+		})
+		if shared {
+			p.coalesced.Add(1)
+			// The leader runs under its own request context; if it was
+			// canceled, its death must not poison this still-healthy
+			// follower — retry, becoming (or joining) a fresh leader.
+			if err != nil && ctx.Err() == nil &&
+				interruptedError(err) && !errors.Is(err, campaign.ErrPoolClosed) {
+				continue
+			}
+		}
+		return v, leaderHit, err
+	}
+}
+
+// simulate runs one scenario as a single-unit campaign plan on the
+// shared pool, inheriting the engine's seed derivation and panic
+// containment.
+func (p *Planner) simulate(ctx context.Context, sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, error) {
+	plan := &campaign.Plan{
+		Seed: seed,
+		Units: []campaign.Unit{{
+			Key: experiments.ScenarioKey(sc, steps, ic),
+			Run: func(unitSeed int64) (any, error) {
+				return p.measure(sc, steps, ic, unitSeed)
+			},
+		}},
+	}
+	v, err := campaign.Engine{Pool: p.pool}.RunContext(ctx, plan)
+	if err != nil {
+		return experiments.ScenarioOutcome{}, err
+	}
+	return v.([]any)[0].(experiments.ScenarioOutcome), nil
+}
+
+// Outcome is the wire form of one measured scenario.
+type Outcome struct {
+	Scenario          string  `json:"scenario"`
+	Key               string  `json:"key"`
+	Seed              int64   `json:"seed"`
+	TrainingHours     float64 `json:"training_hours"`
+	SteadyStepsPerSec float64 `json:"steady_steps_per_sec"`
+	CheckpointCount   int     `json:"checkpoint_count"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+	CostUSD           float64 `json:"cost_usd"`
+	Revocations       int     `json:"revocations"`
+	Replacements      int     `json:"replacements"`
+	CostPer1kSteps    float64 `json:"cost_per_1k_steps"`
+	Cached            bool    `json:"cached"`
+}
+
+func wireOutcome(o experiments.ScenarioOutcome, steps, ic, seed int64, cached bool) Outcome {
+	w := Outcome{
+		Scenario:          o.Scenario.Label(),
+		Key:               experiments.ScenarioKey(o.Scenario, steps, ic),
+		Seed:              seed,
+		TrainingHours:     o.TrainingSeconds / 3600,
+		SteadyStepsPerSec: o.SteadySpeed,
+		CheckpointCount:   o.CheckpointCount,
+		CheckpointSeconds: o.CheckpointSeconds,
+		CostUSD:           o.CostUSD,
+		Revocations:       o.Revocations,
+		Replacements:      o.Replacements,
+		Cached:            cached,
+	}
+	if steps > 0 {
+		w.CostPer1kSteps = o.CostUSD / (float64(steps) / 1000)
+	}
+	return w
+}
+
+// ScenarioQuery names one scenario over the wire.
+type ScenarioQuery struct {
+	Model   string `json:"model"`
+	GPU     string `json:"gpu"`
+	Region  string `json:"region"`
+	Tier    string `json:"tier"`
+	Workers int    `json:"workers"`
+	// TargetSteps is the total training target Nw (required).
+	TargetSteps int64 `json:"target_steps"`
+	// CheckpointInterval is Ic in steps (0: 1000).
+	CheckpointInterval int64 `json:"checkpoint_interval"`
+	Seed               int64 `json:"seed"`
+}
+
+func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
+	m, err := model.ByName(q.Model)
+	if err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	g, err := model.ParseGPU(q.GPU)
+	if err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	r, err := cloud.ParseRegion(q.Region)
+	if err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	tier, err := cloud.ParseTier(q.Tier)
+	if err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	if !cloud.Offered(r, g) {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s", g, r)
+	}
+	if q.Workers <= 0 {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers must be positive")
+	}
+	if q.Workers > maxWorkersPerScenario {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers %d exceeds the per-scenario limit of %d", q.Workers, maxWorkersPerScenario)
+	}
+	if q.TargetSteps <= 0 {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: target_steps must be positive")
+	}
+	ic, err := resolveCheckpointInterval(q.CheckpointInterval)
+	if err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, Workers: q.Workers}
+	return sc, q.TargetSteps, ic, nil
+}
+
+// resolveCheckpointInterval applies the shared Ic contract: 0 means
+// the default of 1000 steps, negative is a client error.
+func resolveCheckpointInterval(ic int64) (int64, error) {
+	switch {
+	case ic < 0:
+		return 0, fmt.Errorf("planner: checkpoint_interval must not be negative")
+	case ic == 0:
+		return 1000, nil
+	default:
+		return ic, nil
+	}
+}
+
+// Measure answers a single-scenario query with a full measured session
+// (cached, coalesced).
+func (p *Planner) Measure(ctx context.Context, q ScenarioQuery) (Outcome, error) {
+	sc, steps, ic, err := q.scenario()
+	if err != nil {
+		return Outcome{}, &BadRequestError{err}
+	}
+	out, cached, err := p.measureCached(ctx, sc, steps, ic, q.Seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return wireOutcome(out, steps, ic, q.Seed, cached), nil
+}
+
+// BadRequestError marks a query the client phrased wrong, as opposed
+// to a simulation failure; the HTTP layer maps it to 400.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// GridQuery selects a scenario grid; an empty axis falls back to the
+// corresponding DefaultSweep axis, so `{}` is the default sweep.
+type GridQuery struct {
+	Model   string   `json:"model,omitempty"`
+	Sizes   []int    `json:"sizes,omitempty"`
+	GPUs    []string `json:"gpus,omitempty"`
+	Regions []string `json:"regions,omitempty"`
+	Tiers   []string `json:"tiers,omitempty"`
+}
+
+func (q GridQuery) spec() (experiments.SweepSpec, error) {
+	spec := experiments.DefaultSweep()
+	if q.Model != "" {
+		m, err := model.ByName(q.Model)
+		if err != nil {
+			return experiments.SweepSpec{}, err
+		}
+		spec.Model = m
+	}
+	if len(q.Sizes) > 0 {
+		for _, n := range q.Sizes {
+			if n <= 0 {
+				return experiments.SweepSpec{}, fmt.Errorf("planner: cluster size %d must be positive", n)
+			}
+			if n > maxWorkersPerScenario {
+				return experiments.SweepSpec{}, fmt.Errorf("planner: cluster size %d exceeds the per-scenario limit of %d", n, maxWorkersPerScenario)
+			}
+		}
+		spec.Sizes = q.Sizes
+	}
+	if len(q.GPUs) > 0 {
+		spec.GPUs = spec.GPUs[:0]
+		for _, name := range q.GPUs {
+			g, err := model.ParseGPU(name)
+			if err != nil {
+				return experiments.SweepSpec{}, err
+			}
+			spec.GPUs = append(spec.GPUs, g)
+		}
+	}
+	if len(q.Regions) > 0 {
+		spec.Regions = spec.Regions[:0]
+		for _, name := range q.Regions {
+			r, err := cloud.ParseRegion(name)
+			if err != nil {
+				return experiments.SweepSpec{}, err
+			}
+			spec.Regions = append(spec.Regions, r)
+		}
+	}
+	if len(q.Tiers) > 0 {
+		spec.Tiers = spec.Tiers[:0]
+		for _, name := range q.Tiers {
+			tier, err := cloud.ParseTier(name)
+			if err != nil {
+				return experiments.SweepSpec{}, err
+			}
+			spec.Tiers = append(spec.Tiers, tier)
+		}
+	}
+	return spec, nil
+}
+
+// SweepQuery declares an arbitrary scenario grid to measure.
+type SweepQuery struct {
+	GridQuery
+	// StepsPerWorker scales the target with cluster size, like the
+	// batch sweep experiment (0: DefaultSweep's value).
+	StepsPerWorker     int64 `json:"steps_per_worker,omitempty"`
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	Seed               int64 `json:"seed"`
+}
+
+// Spec validates the query into a concrete sweep grid.
+func (q SweepQuery) Spec() (experiments.SweepSpec, error) {
+	spec, err := q.GridQuery.spec()
+	if err != nil {
+		return experiments.SweepSpec{}, err
+	}
+	if err := checkGridSize(len(spec.Scenarios())); err != nil {
+		return experiments.SweepSpec{}, err
+	}
+	if q.StepsPerWorker > 0 {
+		spec.StepsPerWorker = q.StepsPerWorker
+	}
+	if q.CheckpointInterval > 0 {
+		spec.CheckpointInterval = q.CheckpointInterval
+	}
+	return spec, nil
+}
+
+// checkGridSize rejects grids a client phrased wrong: empty ones
+// (every cell was an unoffered region/GPU combination — a 200 with
+// zero results would be indistinguishable from success) and ones
+// wider than the per-query bound.
+func checkGridSize(n int) error {
+	switch {
+	case n == 0:
+		return fmt.Errorf("planner: grid expands to no offered scenarios (check region/GPU availability via /v1/catalog)")
+	case n > maxGridCells:
+		return fmt.Errorf("planner: grid expands to %d scenarios, limit is %d", n, maxGridCells)
+	}
+	return nil
+}
+
+// SweepItem is one NDJSON line of a streamed sweep: the scenario's
+// position in the grid plus its outcome or error.
+type SweepItem struct {
+	Index   int      `json:"index"`
+	Total   int      `json:"total"`
+	Outcome *Outcome `json:"outcome,omitempty"`
+	Err     string   `json:"error,omitempty"`
+}
+
+// gridResult is one resolved cell handed to a measureGrid visitor.
+type gridResult struct {
+	out    experiments.ScenarioOutcome
+	cached bool
+	err    error
+}
+
+// measureGrid is the fan-out shared by Sweep and Cheapest: every
+// scenario is dispatched onto the shared pool at once (cache and
+// singleflight apply per cell), and visit sees cells incrementally in
+// grid order — each as soon as it and every earlier cell have
+// resolved, so cached cells surface immediately. A visit error or a
+// canceled ctx returns early; the stragglers are canceled and waited
+// out so no dispatch goroutine outlives the request.
+func (p *Planner) measureGrid(ctx context.Context, scenarios []experiments.Scenario, stepsFor func(experiments.Scenario) int64, ic, seed int64, visit func(i int, sc experiments.Scenario, r gridResult) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer wg.Wait() // defers run LIFO: cancel first, then drain
+	defer cancel()
+
+	results := make([]chan gridResult, len(scenarios))
+	for i := range results {
+		results[i] = make(chan gridResult, 1)
+	}
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, cached, err := p.measureCached(ctx, sc, stepsFor(sc), ic, seed)
+			results[i] <- gridResult{out, cached, err}
+		}()
+	}
+	for i, sc := range scenarios {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		var r gridResult
+		select {
+		case r = <-results[i]:
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
+		if err := visit(i, sc, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep measures every cell of the grid and emits outcomes
+// incrementally in grid order. A scenario that fails becomes an item
+// with Err set; the sweep continues. Sweep returns early if ctx is
+// canceled or emit returns an error (a client that went away),
+// canceling its undispatched scenarios.
+func (p *Planner) Sweep(ctx context.Context, spec experiments.SweepSpec, seed int64, emit func(SweepItem) error) error {
+	scenarios := spec.Scenarios()
+	stepsFor := func(sc experiments.Scenario) int64 { return spec.StepsPerWorker * int64(sc.Workers) }
+	return p.measureGrid(ctx, scenarios, stepsFor, spec.CheckpointInterval, seed,
+		func(i int, sc experiments.Scenario, r gridResult) error {
+			item := SweepItem{Index: i, Total: len(scenarios)}
+			if r.err != nil {
+				item.Err = r.err.Error()
+			} else {
+				o := wireOutcome(r.out, stepsFor(sc), spec.CheckpointInterval, seed, r.cached)
+				item.Outcome = &o
+			}
+			return emit(item)
+		})
+}
+
+// CheapestQuery asks the headline decision question: the cheapest
+// configuration that trains the model for TargetSteps total steps
+// within DeadlineHours. Unlike a sweep, every candidate runs the same
+// total workload so costs are directly comparable.
+type CheapestQuery struct {
+	GridQuery
+	// TargetSteps is the total training target Nw (required).
+	TargetSteps int64 `json:"target_steps"`
+	// CheckpointInterval is Ic in steps (0: 1000).
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	// DeadlineHours filters candidates by measured training time;
+	// ≤ 0 means no deadline.
+	DeadlineHours float64 `json:"deadline_hours,omitempty"`
+	Seed          int64   `json:"seed"`
+}
+
+// CheapestResult reports the winner and how the field looked.
+type CheapestResult struct {
+	Considered    int      `json:"considered"`
+	Feasible      int      `json:"feasible"`
+	Failed        int      `json:"failed"`
+	DeadlineHours float64  `json:"deadline_hours,omitempty"`
+	Best          *Outcome `json:"best,omitempty"`
+}
+
+// Cheapest measures every candidate in the grid (cached, coalesced,
+// concurrent) and returns the cheapest one that makes the deadline.
+// Ties break toward earlier grid order, so the answer is deterministic.
+func (p *Planner) Cheapest(ctx context.Context, q CheapestQuery) (CheapestResult, error) {
+	spec, err := q.GridQuery.spec()
+	if err != nil {
+		return CheapestResult{}, &BadRequestError{err}
+	}
+	if q.TargetSteps <= 0 {
+		return CheapestResult{}, &BadRequestError{fmt.Errorf("planner: target_steps must be positive")}
+	}
+	ic, err := resolveCheckpointInterval(q.CheckpointInterval)
+	if err != nil {
+		return CheapestResult{}, &BadRequestError{err}
+	}
+	scenarios := spec.Scenarios()
+	if err := checkGridSize(len(scenarios)); err != nil {
+		return CheapestResult{}, &BadRequestError{err}
+	}
+	result := CheapestResult{Considered: len(scenarios), DeadlineHours: q.DeadlineHours}
+
+	var best *Outcome
+	err = p.measureGrid(ctx, scenarios, func(experiments.Scenario) int64 { return q.TargetSteps }, ic, q.Seed,
+		func(i int, sc experiments.Scenario, r gridResult) error {
+			if r.err != nil {
+				// A candidate that ran and could not finish (the week-
+				// of-virtual-time cap) is infeasible; a measurement
+				// that never happened (cancellation, shutdown) must
+				// fail the query rather than silently skew the answer.
+				if interruptedError(r.err) {
+					return r.err
+				}
+				result.Failed++
+				return nil
+			}
+			if q.DeadlineHours > 0 && r.out.TrainingSeconds/3600 > q.DeadlineHours {
+				return nil
+			}
+			result.Feasible++
+			if best == nil || r.out.CostUSD < best.CostUSD {
+				o := wireOutcome(r.out, q.TargetSteps, ic, q.Seed, r.cached)
+				best = &o
+			}
+			return nil
+		})
+	if err != nil {
+		return CheapestResult{}, err
+	}
+	result.Best = best
+	return result, nil
+}

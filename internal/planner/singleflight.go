@@ -1,0 +1,77 @@
+package planner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiments"
+)
+
+// flightGroup coalesces concurrent identical measurements: the first
+// caller for a key becomes the leader and runs the simulation; callers
+// arriving while it is in flight wait for the leader's result instead
+// of re-simulating. The leader runs under its own context — a follower
+// whose context dies stops waiting, but the leader (and thus the cache
+// fill) is unaffected by follower cancellation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     experiments.ScenarioOutcome
+	err     error
+	waiters atomic.Int64
+}
+
+// Do executes fn once per key at a time. shared reports whether this
+// caller received a leader's result rather than running fn itself.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments.ScenarioOutcome, error)) (v experiments.ScenarioOutcome, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return experiments.ScenarioOutcome{}, true, context.Cause(ctx)
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// waiting reports how many followers are parked behind the key's
+// in-flight leader (0 when no flight is active). Used by tests to
+// rendezvous without sleeping.
+func (g *flightGroup) waiting(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters.Load()
+	}
+	return 0
+}
+
+// inFlight reports whether a leader currently owns the key. Test-only,
+// like waiting.
+func (g *flightGroup) inFlight(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.calls[key]
+	return ok
+}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// frameBytes encodes one message the way writeFrame puts it on the
+// wire, for building fuzz seeds.
+func frameBytes(t *testing.F, m *message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame throws arbitrary bytes at the wire decoder. The codec
+// sits directly on TCP between cluster nodes, so a corrupted or
+// malicious stream must never panic or allocate unboundedly; and any
+// frame that decodes must survive a write/read round trip unchanged —
+// otherwise request/response correlation silently breaks.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(f, &message{ID: 1, Kind: "req", Method: "step", Body: json.RawMessage(`{"n":42}`)}))
+	f.Add(frameBytes(f, &message{ID: 7, Kind: "resp", Error: "boom"}))
+	f.Add(frameBytes(f, &message{Kind: "notify", Method: "heartbeat"}))
+	// Truncated payload: length prefix promises more than arrives.
+	valid := frameBytes(f, &message{ID: 2, Kind: "req", Method: "join"})
+	f.Add(valid[:len(valid)-3])
+	// Oversized length prefix: must be rejected before allocation.
+	var huge [5]byte
+	binary.BigEndian.PutUint32(huge[:], maxFrameBytes+1)
+	huge[4] = 'x'
+	f.Add(huge[:])
+	// Length prefix only, empty payload, garbage JSON.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Add(append([]byte{0, 0, 0, 2}, '{', 'x'))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			// Rejected input is fine; panicking or misreporting is not.
+			// Oversized frames must be refused without reading the
+			// payload (the error names the limit, not an EOF from a
+			// doomed allocation-and-read).
+			if len(data) >= 4 {
+				if n := binary.BigEndian.Uint32(data[:4]); n > maxFrameBytes &&
+					!strings.Contains(err.Error(), "exceeds limit") {
+					t.Fatalf("frame of %d bytes rejected for the wrong reason: %v", n, err)
+				}
+			}
+			return
+		}
+		// Round trip: re-encode and re-read, then compare canonical
+		// JSON forms (the decoder drops unknown fields by design, so
+		// byte-level input equality is not the contract — message
+		// equality is).
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, m); err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		m2, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		j1, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("round trip changed the message:\n first: %s\nsecond: %s", j1, j2)
+		}
+	})
+}
+
+// FuzzWriteReadFrame fuzzes the structured direction: every encodable
+// message must decode back equal.
+func FuzzWriteReadFrame(f *testing.F) {
+	f.Add(uint64(1), "req", "step", []byte(`{"n":1}`), "")
+	f.Add(uint64(0), "notify", "", []byte(nil), "")
+	f.Add(uint64(1<<63), "resp", "", []byte(nil), "remote failed")
+	f.Fuzz(func(t *testing.T, id uint64, kind, method string, body []byte, errStr string) {
+		m := &message{ID: id, Kind: kind, Method: method, Error: errStr}
+		if json.Valid(body) {
+			m.Body = body
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, m); err != nil {
+			return // e.g. invalid UTF-8 in strings is allowed to fail encode
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("wrote a frame that does not read back: %v", err)
+		}
+		if got.ID != m.ID || got.Kind != m.Kind || got.Method != m.Method || got.Error != m.Error {
+			t.Fatalf("round trip changed envelope: wrote %+v, read %+v", m, got)
+		}
+	})
+}
