@@ -13,8 +13,15 @@
 // Usage:
 //
 //	pland [-addr 127.0.0.1:8642] [-workers 8] [-queue 64] [-cache 4096]
+//	      [-trace name=file.csv ...]
 //
-// See README.md §pland for the endpoints and example queries.
+// Each -trace flag (repeatable) registers a revocation-trace CSV — the
+// format cmd/revstudy exports and the paper's public dataset uses — as
+// an empirical lifetime model under the given name: queries select it
+// with "rev_model":"name" (or "rev_models" on grids) and simulate
+// against bootstrap resamples of the recorded lifetimes instead of the
+// calibrated distributions. GET /v1/catalog lists every registered
+// model. See README.md "Revocation models" for the full flow.
 package main
 
 import (
@@ -26,11 +33,51 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cloud"
 	"repro/internal/planner"
+	"repro/internal/trace"
 )
+
+// traceFlags collects repeated -trace name=path values.
+type traceFlags []string
+
+func (t *traceFlags) String() string { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+// registerTrace loads one -trace registration: parse the CSV, build
+// the bootstrap replay model, and make it selectable by name.
+func registerTrace(arg string) error {
+	name, path, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("-trace wants name=file.csv, got %q", arg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.ReadRecordsCSV(f)
+	if err != nil {
+		return err
+	}
+	m, err := trace.EmpiricalLifetimeModel(name, recs)
+	if err != nil {
+		return err
+	}
+	if err := cloud.RegisterLifetimeModel(m); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pland: lifetime model %q replays %d records over %d cells: %s\n",
+		name, len(recs), len(m.CoveredCells()), strings.Join(m.CoveredCells(), ", "))
+	return nil
+}
 
 func main() {
 	os.Exit(run())
@@ -42,8 +89,18 @@ func run() int {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool size")
 		queue   = flag.Int("queue", 64, "bounded admission queue depth")
 		cache   = flag.Int("cache", 4096, "scenario result cache entries (LRU)")
+		traces  traceFlags
 	)
+	flag.Var(&traces, "trace",
+		"register a revocation-trace CSV (revstudy format) as an empirical lifetime model, as name=file.csv; repeatable, selected per query via rev_model")
 	flag.Parse()
+
+	for _, arg := range traces {
+		if err := registerTrace(arg); err != nil {
+			fmt.Fprintf(os.Stderr, "pland: %v\n", err)
+			return 2
+		}
+	}
 
 	p := planner.New(planner.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
 	defer p.Close()

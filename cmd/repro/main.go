@@ -11,6 +11,12 @@
 //	repro -list
 //	repro -exp table1
 //	repro -exp all [-seed 42] [-parallel 8]
+//	repro -exp revmodels   # extras run individually, outside "all"
+//
+// "all" runs exactly the paper's artifact set (the stream the golden
+// snapshot pins); extra experiments such as revmodels — the
+// revocation-model comparison over the pluggable lifetime regimes —
+// are listed by -list and run by id.
 package main
 
 import (
@@ -42,6 +48,9 @@ func run() int {
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		for _, r := range experiments.Extras() {
+			fmt.Printf("%-10s %s (not in \"all\")\n", r.ID, r.Title)
 		}
 		return 0
 	}

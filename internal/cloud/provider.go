@@ -27,8 +27,9 @@ type Request struct {
 // Provider is the simulated cloud. It is not safe for concurrent use;
 // everything runs on the simulation thread.
 type Provider struct {
-	k   *sim.Kernel
-	rng *stats.Rng
+	k        *sim.Kernel
+	rng      *stats.Rng
+	lifetime LifetimeModel
 
 	nextID int64
 	// lastRevocation tracks, per region, when capacity last churned;
@@ -42,15 +43,30 @@ type Provider struct {
 
 // NewProvider returns a provider bound to the kernel, drawing all
 // randomness from rng (which it forks, so the caller's stream is
-// unaffected by provider internals).
+// unaffected by provider internals). Transient lifetimes follow the
+// default Table V calibration; use NewProviderWithLifetime to simulate
+// a different revocation regime.
 func NewProvider(k *sim.Kernel, rng *stats.Rng) *Provider {
+	return NewProviderWithLifetime(k, rng, nil)
+}
+
+// NewProviderWithLifetime is NewProvider under an explicit revocation
+// regime; a nil model means the default.
+func NewProviderWithLifetime(k *sim.Kernel, rng *stats.Rng, m LifetimeModel) *Provider {
+	if m == nil {
+		m = DefaultLifetimeModel()
+	}
 	return &Provider{
 		k:              k,
 		rng:            rng.Fork(),
+		lifetime:       m,
 		lastRevocation: make(map[Region]sim.Time),
 		hasRevocation:  make(map[Region]bool),
 	}
 }
+
+// Lifetime returns the revocation regime this provider simulates.
+func (p *Provider) Lifetime() LifetimeModel { return p.lifetime }
 
 // Now returns the provider's virtual clock.
 func (p *Provider) Now() sim.Time { return p.k.Now() }
@@ -137,7 +153,7 @@ func (p *Provider) run(in *Instance) {
 	in.state = Running
 	in.RunningAt = p.k.Now()
 	if in.Tier == Transient {
-		revoked, lifetime := sampleLifetime(p.rng, in.Region, gpuOrK80(in.GPU), in.RunningAt.Hours())
+		revoked, lifetime := p.lifetime.SampleLifetime(p.rng, in.Region, gpuOrK80(in.GPU), in.RunningAt.Hours())
 		if revoked {
 			in.revocationTimer = p.k.After(lifetime, func() { p.revoke(in) })
 		} else {

@@ -6,8 +6,9 @@
 // lifetime cap, and fixed pricing.
 //
 // Every distribution in this package is calibrated against a published
-// table or figure of the paper (noted at each constant); see DESIGN.md
-// §4 for the calibration summary.
+// table or figure of the paper (noted at each constant); see the
+// "Calibration record" section of DESIGN.md for the full summary and
+// for how each LifetimeModel uses these numbers.
 package cloud
 
 import "fmt"

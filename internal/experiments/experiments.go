@@ -74,9 +74,25 @@ func All() []Runner {
 	}
 }
 
-// ByID finds a runner.
+// Extras lists experiments that go beyond the paper's artifact set.
+// They run via `repro -exp <id>` and appear in the catalog, but are
+// deliberately not part of "all": the golden snapshot pins the paper
+// reproduction's exact stdout, and these explore scenario axes the
+// paper did not publish numbers for.
+func Extras() []Runner {
+	return []Runner{
+		{ID: "revmodels", Title: "Revocation-model comparison: cost/time under each lifetime regime (same grid)", Plan: planRevModels},
+	}
+}
+
+// ByID finds a runner among the paper artifacts and the extras.
 func ByID(id string) (Runner, bool) {
 	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	for _, r := range Extras() {
 		if r.ID == id {
 			return r, true
 		}
@@ -84,12 +100,16 @@ func ByID(id string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// IDs lists all experiment IDs in order.
+// IDs lists all experiment IDs in order, paper artifacts first.
 func IDs() []string {
 	runners := All()
-	out := make([]string, len(runners))
-	for i, r := range runners {
-		out[i] = r.ID
+	extras := Extras()
+	out := make([]string, 0, len(runners)+len(extras))
+	for _, r := range runners {
+		out = append(out, r.ID)
+	}
+	for _, r := range extras {
+		out = append(out, r.ID)
 	}
 	return out
 }

@@ -36,6 +36,9 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
 		"ckptseq", "table4", "fig6", "fig7", "table5", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "endtoend", "sweep",
+		// Extras follow the paper artifacts; they are not part of
+		// "all" (the golden snapshot pins that stream).
+		"revmodels",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -46,8 +49,16 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 			t.Fatalf("registry[%d] = %s, want %s", i, got[i], want[i])
 		}
 	}
+	for _, r := range All() {
+		if r.ID == "revmodels" {
+			t.Fatal(`extras must stay out of All() — "all" is the golden stream`)
+		}
+	}
 	if _, ok := ByID("table1"); !ok {
 		t.Fatal("ByID(table1) not found")
+	}
+	if _, ok := ByID("revmodels"); !ok {
+		t.Fatal("ByID(revmodels) not found")
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("ByID(nope) should fail")

@@ -23,6 +23,10 @@ type SweepSpec struct {
 	GPUs    []model.GPU
 	Regions []cloud.Region
 	Tiers   []cloud.Tier
+	// RevModels lists the revocation/lifetime regimes to sweep (names
+	// registered with cloud.RegisterLifetimeModel); empty means the
+	// default Table V calibration only.
+	RevModels []string
 	// StepsPerWorker scales the training target with cluster size so
 	// every scenario measures a comparable per-worker workload.
 	StepsPerWorker     int64
@@ -31,16 +35,35 @@ type SweepSpec struct {
 
 // Scenario is one cell of the sweep grid.
 type Scenario struct {
-	Model   model.Model
-	GPU     model.GPU
-	Region  cloud.Region
-	Tier    cloud.Tier
-	Workers int
+	Model  model.Model
+	GPU    model.GPU
+	Region cloud.Region
+	Tier   cloud.Tier
+	// RevModel names the revocation/lifetime regime the simulated
+	// cloud applies to transient servers; empty means the default.
+	RevModel string
+	Workers  int
 }
 
-// Label renders the scenario for table rows and unit keys.
+// Label renders the scenario for table rows and unit keys. The
+// revocation model appears only when one was named, so grids over the
+// implicit default read (and key) exactly as before the model axis
+// existed.
 func (s Scenario) Label() string {
-	return fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
+	base := fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
+	if s.RevModel != "" {
+		return base + " rev=" + s.RevModel
+	}
+	return base
+}
+
+// RevModelName resolves the scenario's revocation model name with the
+// default applied — the canonical form Key embeds.
+func (s Scenario) RevModelName() string {
+	if s.RevModel == "" {
+		return cloud.DefaultLifetimeModelName
+	}
+	return s.RevModel
 }
 
 // Key is the scenario's canonical identity: a stable, unambiguous
@@ -50,8 +73,8 @@ func (s Scenario) Label() string {
 // see ScenarioKey), so any two queries that mean the same measurement
 // share one cache line no matter how they were phrased.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d",
-		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers)
+	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d|rev=%s",
+		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers, s.RevModelName())
 }
 
 // ScenarioKey canonically identifies one measured scenario run: the
@@ -62,19 +85,25 @@ func ScenarioKey(sc Scenario, steps, checkpointInterval int64) string {
 	return fmt.Sprintf("%s|steps=%d|ic=%d", sc.Key(), steps, checkpointInterval)
 }
 
-// Scenarios expands the grid in declaration order (GPU → region →
-// tier → size), skipping (region, GPU) cells the cloud does not offer,
-// mirroring the paper's own campaign structure.
+// Scenarios expands the grid in declaration order (revocation model →
+// GPU → region → tier → size), skipping (region, GPU) cells the cloud
+// does not offer, mirroring the paper's own campaign structure.
 func (s SweepSpec) Scenarios() []Scenario {
+	revs := s.RevModels
+	if len(revs) == 0 {
+		revs = []string{""}
+	}
 	var out []Scenario
-	for _, g := range s.GPUs {
-		for _, r := range s.Regions {
-			if !cloud.Offered(r, g) {
-				continue
-			}
-			for _, tier := range s.Tiers {
-				for _, n := range s.Sizes {
-					out = append(out, Scenario{Model: s.Model, GPU: g, Region: r, Tier: tier, Workers: n})
+	for _, rev := range revs {
+		for _, g := range s.GPUs {
+			for _, r := range s.Regions {
+				if !cloud.Offered(r, g) {
+					continue
+				}
+				for _, tier := range s.Tiers {
+					for _, n := range s.Sizes {
+						out = append(out, Scenario{Model: s.Model, GPU: g, Region: r, Tier: tier, RevModel: rev, Workers: n})
+					}
 				}
 			}
 		}
@@ -105,10 +134,21 @@ type SessionOptions struct {
 }
 
 // runScenario measures one scenario with a full managed session on a
-// fresh kernel.
+// fresh kernel, resolving the scenario's revocation model by name.
 func runScenario(sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
+	lm, err := cloud.LookupLifetimeModel(sc.RevModel)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	return runScenarioWith(lm, sc, steps, ic, opts, seed)
+}
+
+// runScenarioWith is runScenario under an explicit lifetime model —
+// the path the revmodels experiment uses for models it builds itself
+// (e.g. a trace replay) without going through the registry.
+func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
 	k := &sim.Kernel{}
-	provider := cloud.NewProvider(k, stats.NewRng(seed))
+	provider := cloud.NewProviderWithLifetime(k, stats.NewRng(seed), lm)
 	placements := make([]manager.Placement, sc.Workers)
 	for i := range placements {
 		placements[i] = manager.Placement{GPU: sc.GPU, Region: sc.Region, Tier: sc.Tier}

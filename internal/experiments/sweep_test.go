@@ -120,9 +120,22 @@ func TestTableVAndFigure8ShareTheCampaign(t *testing.T) {
 
 func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
 	sc := Scenario{Model: model.ResNet15(), GPU: model.P100, Region: cloud.USWest1, Tier: cloud.Transient, Workers: 4}
-	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4"
+	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4|rev=table5"
 	if got := sc.Key(); got != want {
 		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// The implicit default and the explicitly-named default are the
+	// same measurement, so they share one canonical key; any other
+	// model is a different world and must key apart.
+	explicit := sc
+	explicit.RevModel = cloud.DefaultLifetimeModelName
+	if explicit.Key() != sc.Key() {
+		t.Fatalf("explicit default keys %q, implicit %q", explicit.Key(), sc.Key())
+	}
+	weibull := sc
+	weibull.RevModel = "weibull"
+	if weibull.Key() == sc.Key() {
+		t.Fatal("distinct revocation models share a key")
 	}
 	// The same scenario expanded from two differently-shaped grids must
 	// share one key: that is what makes the planner cache coherent
@@ -147,5 +160,67 @@ func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
 	}
 	if got, want := ScenarioKey(sc, 8000, 1000), want+"|steps=8000|ic=1000"; got != want {
 		t.Fatalf("ScenarioKey = %q, want %q", got, want)
+	}
+}
+
+func TestSweepRevModelAxisExpandsGrid(t *testing.T) {
+	spec := SweepSpec{
+		Model:          model.ResNet15(),
+		Sizes:          []int{1},
+		GPUs:           []model.GPU{model.K80},
+		Regions:        []cloud.Region{cloud.USCentral1},
+		Tiers:          []cloud.Tier{cloud.Transient},
+		RevModels:      []string{"table5", "weibull", "diurnal"},
+		StepsPerWorker: 100,
+	}
+	scenarios := spec.Scenarios()
+	if len(scenarios) != 3 {
+		t.Fatalf("scenarios = %d, want one per revocation model", len(scenarios))
+	}
+	labels := make(map[string]bool)
+	keys := make(map[string]bool)
+	for _, sc := range scenarios {
+		labels[sc.Label()] = true
+		keys[sc.Key()] = true
+	}
+	if len(labels) != 3 || len(keys) != 3 {
+		t.Fatalf("revocation models must label and key apart: labels=%v", labels)
+	}
+	if !labels["1×K80 us-central1 transient rev=weibull"] {
+		t.Errorf("missing expected label, got %v", labels)
+	}
+}
+
+// TestMeasureScenarioHonorsRevModel runs the same placement under two
+// revocation regimes: the measurements must come out deterministic per
+// model and the unknown-model error must surface, not panic.
+func TestMeasureScenarioHonorsRevModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured sessions in -short mode")
+	}
+	base := Scenario{Model: model.ResNet15(), GPU: model.K80, Region: cloud.USCentral1, Tier: cloud.Transient, Workers: 1}
+	outcomes := make(map[string]ScenarioOutcome)
+	for _, rev := range []string{"", "weibull", "diurnal"} {
+		sc := base
+		sc.RevModel = rev
+		out, err := MeasureScenario(sc, 2000, 500, SessionOptions{}, 7)
+		if err != nil {
+			t.Fatalf("rev=%q: %v", rev, err)
+		}
+		again, err := MeasureScenario(sc, 2000, 500, SessionOptions{}, 7)
+		if err != nil || again != out {
+			t.Fatalf("rev=%q not deterministic: %+v vs %+v (%v)", rev, out, again, err)
+		}
+		outcomes[rev] = out
+	}
+	// Identical seeds and placements, different lifetime regimes: at
+	// least one pair must measure differently, or the axis is dead.
+	if outcomes[""] == outcomes["weibull"] && outcomes[""] == outcomes["diurnal"] {
+		t.Error("all revocation models produced identical outcomes")
+	}
+	bad := base
+	bad.RevModel = "no-such-model"
+	if _, err := MeasureScenario(bad, 100, 0, SessionOptions{}, 1); err == nil {
+		t.Error("unknown revocation model accepted")
 	}
 }

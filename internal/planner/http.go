@@ -100,15 +100,22 @@ func (p *Planner) Handler() http.Handler {
 
 // Catalog lists what the planner can be asked about.
 type Catalog struct {
-	Models      []string `json:"models"`
-	GPUs        []string `json:"gpus"`
-	Regions     []string `json:"regions"`
-	Tiers       []string `json:"tiers"`
-	Experiments []string `json:"experiments"`
+	Models  []string `json:"models"`
+	GPUs    []string `json:"gpus"`
+	Regions []string `json:"regions"`
+	Tiers   []string `json:"tiers"`
+	// LifetimeModels are the revocation regimes a query's rev_model /
+	// rev_models fields accept: the builtins plus any trace-replay
+	// models registered at daemon startup (pland -trace).
+	LifetimeModels []string `json:"lifetime_models"`
+	Experiments    []string `json:"experiments"`
 }
 
 func catalog() Catalog {
-	c := Catalog{Experiments: experiments.IDs()}
+	c := Catalog{
+		Experiments:    experiments.IDs(),
+		LifetimeModels: cloud.LifetimeModelNames(),
+	}
 	for _, m := range model.Zoo() {
 		c.Models = append(c.Models, m.Name)
 	}

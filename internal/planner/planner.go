@@ -245,6 +245,11 @@ type ScenarioQuery struct {
 	Region  string `json:"region"`
 	Tier    string `json:"tier"`
 	Workers int    `json:"workers"`
+	// RevModel selects the revocation/lifetime regime the simulated
+	// cloud applies to transient servers — a name from the catalog's
+	// lifetime_models list (builtins plus any -trace registrations).
+	// Empty means the default Table V calibration.
+	RevModel string `json:"rev_model,omitempty"`
 	// TargetSteps is the total training target Nw (required).
 	TargetSteps int64 `json:"target_steps"`
 	// CheckpointInterval is Ic in steps (0: 1000).
@@ -272,6 +277,9 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if !cloud.Offered(r, g) {
 		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s", g, r)
 	}
+	if _, err := cloud.LookupLifetimeModel(q.RevModel); err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
 	if q.Workers <= 0 {
 		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers must be positive")
 	}
@@ -285,7 +293,7 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, Workers: q.Workers}
+	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, RevModel: q.RevModel, Workers: q.Workers}
 	return sc, q.TargetSteps, ic, nil
 }
 
@@ -325,12 +333,15 @@ func (e *BadRequestError) Unwrap() error { return e.Err }
 
 // GridQuery selects a scenario grid; an empty axis falls back to the
 // corresponding DefaultSweep axis, so `{}` is the default sweep.
+// RevModels is the one exception: empty means the default lifetime
+// model only, not a sweep over every registered model.
 type GridQuery struct {
-	Model   string   `json:"model,omitempty"`
-	Sizes   []int    `json:"sizes,omitempty"`
-	GPUs    []string `json:"gpus,omitempty"`
-	Regions []string `json:"regions,omitempty"`
-	Tiers   []string `json:"tiers,omitempty"`
+	Model     string   `json:"model,omitempty"`
+	Sizes     []int    `json:"sizes,omitempty"`
+	GPUs      []string `json:"gpus,omitempty"`
+	Regions   []string `json:"regions,omitempty"`
+	Tiers     []string `json:"tiers,omitempty"`
+	RevModels []string `json:"rev_models,omitempty"`
 }
 
 func (q GridQuery) spec() (experiments.SweepSpec, error) {
@@ -382,6 +393,14 @@ func (q GridQuery) spec() (experiments.SweepSpec, error) {
 			}
 			spec.Tiers = append(spec.Tiers, tier)
 		}
+	}
+	if len(q.RevModels) > 0 {
+		for _, name := range q.RevModels {
+			if _, err := cloud.LookupLifetimeModel(name); err != nil {
+				return experiments.SweepSpec{}, err
+			}
+		}
+		spec.RevModels = q.RevModels
 	}
 	return spec, nil
 }

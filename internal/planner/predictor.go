@@ -2,6 +2,7 @@ package planner
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/cloud"
@@ -132,6 +133,15 @@ func (p *Planner) Estimate(ctx context.Context, q ScenarioQuery) (EstimateResult
 	sc, steps, ic, err := q.scenario()
 	if err != nil {
 		return EstimateResult{}, &BadRequestError{err}
+	}
+	if sc.RevModelName() != cloud.DefaultLifetimeModelName {
+		// The Eq. 5 revocation estimator is fit from lifetime campaigns
+		// run under the default calibration; answering for another
+		// regime would silently use the wrong hazard. Measured queries
+		// (/v1/measure, /v1/sweep, /v1/cheapest) support every model.
+		return EstimateResult{}, &BadRequestError{fmt.Errorf(
+			"planner: analytic estimates support only the default lifetime model %q; measure rev_model %q instead",
+			cloud.DefaultLifetimeModelName, sc.RevModel)}
 	}
 	a := &p.analytic
 	a.init()

@@ -1,0 +1,155 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// TestRevModelSplitsCacheLines is the acceptance property of the
+// revocation-model axis: the same scenario measured under two lifetime
+// models must occupy two cache lines (two misses, two entries), while
+// the implicit default and the explicit default share one.
+func TestRevModelSplitsCacheLines(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4, CacheSize: 16})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	q := testQuery(9)
+	ask := func(rev string) Outcome {
+		t.Helper()
+		q := q
+		q.RevModel = rev
+		out, err := p.Measure(context.Background(), q)
+		if err != nil {
+			t.Fatalf("rev=%q: %v", rev, err)
+		}
+		return out
+	}
+
+	def := ask("")
+	weib := ask("weibull")
+	if def.Key == weib.Key {
+		t.Fatalf("default and weibull share the key %q", def.Key)
+	}
+	if !strings.Contains(def.Key, "rev="+cloud.DefaultLifetimeModelName) ||
+		!strings.Contains(weib.Key, "rev=weibull") {
+		t.Fatalf("keys do not embed the model: %q / %q", def.Key, weib.Key)
+	}
+	st := p.Stats()
+	if sims.Load() != 2 || st.Misses != 2 || st.CacheEntries != 2 {
+		t.Fatalf("two models ⇒ two simulations and two cache lines; got sims=%d stats=%+v", sims.Load(), st)
+	}
+
+	// The explicitly-named default is the same measurement as the
+	// implicit one: a cache hit, not a third line.
+	exp := ask(cloud.DefaultLifetimeModelName)
+	if !exp.Cached || exp.Key != def.Key {
+		t.Fatalf("explicit default was not served from the implicit default's line: %+v", exp)
+	}
+	if st := p.Stats(); st.CacheEntries != 2 || sims.Load() != 2 {
+		t.Fatalf("explicit default created extra work: sims=%d stats=%+v", sims.Load(), st)
+	}
+}
+
+func TestRevModelValidation(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 4})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	q := testQuery(1)
+	q.RevModel = "no-such-model"
+	var bad *BadRequestError
+	if _, err := p.Measure(context.Background(), q); !errors.As(err, &bad) {
+		t.Errorf("unknown rev_model: got %v, want BadRequestError", err)
+	}
+
+	// Grid queries validate every listed model before dispatch.
+	sq := SweepQuery{GridQuery: GridQuery{RevModels: []string{"table5", "bogus"}}}
+	if _, err := sq.Spec(); err == nil {
+		t.Error("sweep accepted an unknown rev model")
+	}
+
+	// Analytic estimates only speak the default calibration.
+	eq := testQuery(1)
+	eq.RevModel = "weibull"
+	if _, err := p.Estimate(context.Background(), eq); !errors.As(err, &bad) ||
+		!strings.Contains(err.Error(), "analytic") {
+		t.Errorf("estimate under a non-default model: got %v, want a BadRequestError explaining the analytic limitation", err)
+	}
+}
+
+// TestSweepRevModelsAxis sweeps one cell under three regimes: the grid
+// triples, every cell simulates once, and a repeat is all hits.
+func TestSweepRevModelsAxis(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4, CacheSize: 32})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	sq := SweepQuery{GridQuery: GridQuery{
+		Model: "ResNet-15", Sizes: []int{1}, GPUs: []string{"K80"},
+		Regions: []string{"us-central1"}, Tiers: []string{"transient"},
+		RevModels: []string{"table5", "weibull", "diurnal"},
+	}}
+	spec, err := sq.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int {
+		n := 0
+		if err := p.Sweep(context.Background(), spec, 4, func(it SweepItem) error {
+			if it.Err != "" {
+				t.Fatalf("item %d: %s", it.Index, it.Err)
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := run(); n != 3 {
+		t.Fatalf("sweep emitted %d items, want 3 (one per regime)", n)
+	}
+	if sims.Load() != 3 {
+		t.Fatalf("%d simulations, want 3", sims.Load())
+	}
+	run()
+	if sims.Load() != 3 {
+		t.Fatalf("repeat sweep re-simulated (%d total)", sims.Load())
+	}
+}
+
+func TestCatalogListsLifetimeModels(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 4})
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := decodeBody[Catalog](t, resp)
+	if len(cat.LifetimeModels) < 3 || cat.LifetimeModels[0] != cloud.DefaultLifetimeModelName {
+		t.Fatalf("catalog lifetime models = %v, want default first with ≥3 entries", cat.LifetimeModels)
+	}
+	found := false
+	for _, id := range cat.Experiments {
+		if id == "revmodels" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("catalog experiments missing revmodels: %v", cat.Experiments)
+	}
+}

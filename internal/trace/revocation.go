@@ -1,8 +1,13 @@
 // Package trace implements CM-DARE's offline measurement campaigns
 // (§V): the twelve-day revocation study behind Table V and Figs. 8–9,
 // the startup-time study behind Fig. 6, and the post-revocation
-// acquisition study behind Fig. 7. Campaign outputs feed the
-// performance models in internal/core and can be exported as CSV.
+// acquisition study behind Fig. 7. Campaign outputs feed the Table V /
+// Fig. 8–9 renderers in internal/experiments and (via the endtoend
+// experiment) internal/core's Eq. 5 revocation estimator, round-trip
+// through CSV (WriteRecordsCSV / ReadRecordsCSV — the format of the
+// paper's published dataset), and can be replayed as an empirical
+// cloud.LifetimeModel so simulations run against recorded revocation
+// behavior instead of the calibrated distributions in internal/cloud.
 package trace
 
 import (

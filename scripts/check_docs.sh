@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Doc-rot guard: every internal/…, cmd/…, or examples/… path that
+# DESIGN.md or README.md mentions must exist in the tree. This is what
+# catches a doc pointing at a package that was renamed or never
+# written (the failure mode the old "internal/core" pointer in
+# internal/trace had).
+set -eu
+cd "$(dirname "$0")/.."
+status=0
+for doc in DESIGN.md README.md; do
+    refs=$(grep -oE '(internal|cmd|examples)/[A-Za-z0-9._/-]+' "$doc" |
+        sed 's/[.,;:]*$//' | sort -u)
+    for ref in $refs; do
+        if [ ! -e "$ref" ]; then
+            echo "$doc references a missing path: $ref" >&2
+            status=1
+        fi
+    done
+done
+if [ "$status" -eq 0 ]; then
+    echo "docs reference only existing paths"
+fi
+exit $status
