@@ -107,6 +107,13 @@ func BenchmarkEndToEnd(b *testing.B) { runExperiment(b, "endtoend") }
 // per (size, GPU, region, tier) grid cell.
 func BenchmarkSweep(b *testing.B) { runExperiment(b, "sweep") }
 
+// BenchmarkFleet runs the fleet scheduler comparison: every (regime,
+// scheduler, replication) cell is a multi-job simulation on a shared
+// capacity-constrained transient pool, so this benchmark tracks the
+// cost of the fleet subsystem end to end (workload generation,
+// admission, capacity accounting, per-job sessions).
+func BenchmarkFleet(b *testing.B) { runExperiment(b, "fleet") }
+
 // BenchmarkCampaignWorkers runs a fixed batch of experiments through
 // the campaign engine at increasing pool sizes, measuring how the
 // reproduction scales with workers (the -parallel knob of cmd/repro).

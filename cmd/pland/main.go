@@ -1,9 +1,11 @@
 // Command pland is the planning daemon: a long-running HTTP/JSON
 // service that answers scenario queries — "cheapest config to train
 // model M in ≤ H hours", arbitrary sweep grids, single-scenario
-// ETA/cost estimates — against the simulated cloud, the interactive
-// form of the paper's decision-support result (Eqs. 4–5, Tables
-// V–VII).
+// ETA/cost estimates, and multi-job fleet simulations on a shared
+// capacity-constrained transient pool (POST /v1/fleet, NDJSON per-job
+// results plus aggregate stats) — against the simulated cloud, the
+// interactive form of the paper's decision-support result (Eqs. 4–5,
+// Tables V–VII).
 //
 // Queries dispatch onto one shared simulation worker pool with a
 // bounded admission queue; identical concurrent queries coalesce into

@@ -12,11 +12,14 @@
 //	repro -exp table1
 //	repro -exp all [-seed 42] [-parallel 8]
 //	repro -exp revmodels   # extras run individually, outside "all"
+//	repro -exp fleet       # multi-job scheduler comparison (extra)
 //
 // "all" runs exactly the paper's artifact set (the stream the golden
-// snapshot pins); extra experiments such as revmodels — the
-// revocation-model comparison over the pluggable lifetime regimes —
-// are listed by -list and run by id.
+// snapshot pins); extra experiments — revmodels, the revocation-model
+// comparison over the pluggable lifetime regimes, and fleet, the
+// multi-job scheduler comparison on a capacity-constrained transient
+// pool (its own golden, testdata/fleet.golden) — are listed by -list
+// and run by id.
 package main
 
 import (

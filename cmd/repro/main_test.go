@@ -58,6 +58,41 @@ func TestReproAllMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestReproFleetMatchesGolden pins the fleet scheduler comparison the
+// same way: `repro -exp fleet` (seed 42) must match its committed
+// snapshot byte for byte. The fleet experiment lives outside "all" (the
+// paper never published multi-job numbers), so it gets its own golden;
+// CI cross-checks both snapshots against live output.
+func TestReproFleetMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet campaign in -short mode")
+	}
+	r, ok := experiments.ByID("fleet")
+	if !ok {
+		t.Fatal("fleet experiment not registered")
+	}
+	var buf bytes.Buffer
+	if _, err := writeExperiments(&buf, []experiments.Runner{r}, 42, runtime.GOMAXPROCS(0)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fleet.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (generate with -update): %v", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("repro -exp fleet drifted from the committed snapshot:\n%s\nif the change is intentional, regenerate with -update and review the diff",
+			firstDivergence(got, want))
+	}
+}
+
 // firstDivergence renders the first line where got and want differ,
 // with a little context, so a drifted digit is findable without
 // eyeballing ~20 artifacts.

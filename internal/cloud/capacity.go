@@ -1,0 +1,187 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// PoolKey identifies one transient capacity pool: a (region, GPU type)
+// cell of the provider's fleet, the granularity at which the paper's
+// §V characterization reports revocation behavior (Table V) and at
+// which real clouds ration preemptible quota.
+type PoolKey struct {
+	Region Region
+	GPU    model.GPU
+}
+
+// String renders the cell as "region/GPU", the form capacity flags and
+// canonical fleet keys use.
+func (k PoolKey) String() string {
+	return fmt.Sprintf("%s/%s", k.Region, k.GPU)
+}
+
+// ParsePoolKey parses a "region/GPU" cell name.
+func ParsePoolKey(s string) (PoolKey, error) {
+	region, gpu, ok := strings.Cut(s, "/")
+	if !ok {
+		return PoolKey{}, fmt.Errorf("cloud: pool key %q wants region/GPU", s)
+	}
+	r, err := ParseRegion(region)
+	if err != nil {
+		return PoolKey{}, err
+	}
+	g, err := model.ParseGPU(gpu)
+	if err != nil {
+		return PoolKey{}, err
+	}
+	return PoolKey{Region: r, GPU: g}, nil
+}
+
+// Capacity maps pool cells to the number of transient GPU servers the
+// provider will run there at once. Cells that are absent — or mapped
+// to a non-positive count — are unconstrained, so the zero value (nil)
+// is exactly today's infinite pool. On-demand servers and CPU-only
+// parameter servers never consume transient capacity: the paper's
+// revocation story (§V, Fig. 7) is about the transient pool churning,
+// not about on-demand quota.
+type Capacity map[PoolKey]int
+
+// Clone returns an independent copy so callers can hand a Capacity to
+// a provider and keep mutating their own.
+func (c Capacity) Clone() Capacity {
+	if c == nil {
+		return nil
+	}
+	out := make(Capacity, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Canonical renders the constrained cells as "region/GPU:n" terms,
+// sorted, comma-joined — a stable identity for cache keys. Nil or
+// all-unconstrained capacity renders as "inf".
+func (c Capacity) Canonical() string {
+	var terms []string
+	for k, n := range c {
+		if n > 0 {
+			terms = append(terms, fmt.Sprintf("%s:%d", k, n))
+		}
+	}
+	if len(terms) == 0 {
+		return "inf"
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, ",")
+}
+
+// ErrNoCapacity reports a transient Launch rejected because the
+// requested cell's pool is fully in use. Callers distinguish it from
+// placement errors (invalid region, unoffered GPU) because it is
+// transient in both senses: retrying after the pool churns can
+// succeed, and the fleet schedulers queue on it.
+var ErrNoCapacity = errors.New("cloud: transient capacity exhausted")
+
+// SetTransientCapacity installs per-cell transient pool limits. It is
+// meant to be called once, before any Launch; limits apply only to
+// transient GPU requests. A nil map (the default) means every cell is
+// unconstrained.
+func (p *Provider) SetTransientCapacity(c Capacity) {
+	p.capacity = c.Clone()
+}
+
+// SetCapacityFreedHook registers fn to run on the simulation thread
+// whenever a slot of a constrained cell frees (revocation, lifetime
+// expiry, or customer termination). Fleet schedulers use it to re-run
+// admission the moment queued work could fit. For a revoked instance
+// the hook fires after the instance's own OnRevoked callback, so the
+// victim session's immediate replacement gets first claim on the slot
+// it just vacated — the §V-B result that immediate re-requests are not
+// penalized.
+func (p *Provider) SetCapacityFreedHook(fn func(PoolKey)) {
+	p.onCapacityFreed = fn
+}
+
+// TransientCapacity returns the cell's configured limit, or 0 when the
+// cell is unconstrained.
+func (p *Provider) TransientCapacity(r Region, g model.GPU) int {
+	if n := p.capacity[PoolKey{r, g}]; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// TransientInUse returns how many transient servers currently occupy
+// the cell's pool (from acceptance until a terminal state, matching
+// how clouds meter quota from the moment a request is granted).
+func (p *Provider) TransientInUse(r Region, g model.GPU) int {
+	return p.inUse[PoolKey{r, g}]
+}
+
+// TransientAvailable returns how many transient servers the cell can
+// still accept, or -1 when the cell is unconstrained.
+func (p *Provider) TransientAvailable(r Region, g model.GPU) int {
+	limit := p.TransientCapacity(r, g)
+	if limit <= 0 {
+		return -1
+	}
+	free := limit - p.TransientInUse(r, g)
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Churning reports whether the region had a revocation within the
+// churn window (Fig. 7's "immediate request" regime) — exported so
+// capacity-blocked callers can pace retries to the pool's churn state.
+func (p *Provider) Churning(r Region) bool { return p.churning(r) }
+
+// acquireSlot claims a pool slot for a transient GPU request, or
+// reports ErrNoCapacity. Unconstrained cells always succeed without
+// touching any accounting, which is what keeps the infinite-pool
+// default byte-for-byte identical to the pre-capacity provider.
+func (p *Provider) acquireSlot(in *Instance) error {
+	if in.Tier != Transient || in.GPU == 0 {
+		return nil
+	}
+	key := PoolKey{in.Region, in.GPU}
+	limit := p.capacity[key]
+	if limit <= 0 {
+		return nil
+	}
+	if p.inUse[key] >= limit {
+		return fmt.Errorf("%w: %s has %d/%d in use", ErrNoCapacity, key, p.inUse[key], limit)
+	}
+	if p.inUse == nil {
+		p.inUse = make(map[PoolKey]int)
+	}
+	p.inUse[key]++
+	in.holdsSlot = true
+	return nil
+}
+
+// releaseSlot returns an ended instance's pool slot, reporting whether
+// one was held. The freed-hook notification is the caller's job so
+// revocation can interleave it correctly with OnRevoked.
+func (p *Provider) releaseSlot(in *Instance) (PoolKey, bool) {
+	if !in.holdsSlot {
+		return PoolKey{}, false
+	}
+	in.holdsSlot = false
+	key := PoolKey{in.Region, in.GPU}
+	p.inUse[key]--
+	return key, true
+}
+
+// notifyFreed fires the capacity-freed hook, if any.
+func (p *Provider) notifyFreed(key PoolKey) {
+	if p.onCapacityFreed != nil {
+		p.onCapacityFreed(key)
+	}
+}

@@ -113,6 +113,10 @@ type Instance struct {
 
 	state   State
 	startup StartupBreakdown
+	// holdsSlot marks a transient instance occupying a slot of a
+	// capacity-constrained pool cell; the provider releases the slot
+	// exactly once, on the transition to a terminal state.
+	holdsSlot bool
 
 	RequestedAt sim.Time
 	RunningAt   sim.Time // valid once state reaches Running

@@ -38,6 +38,13 @@ type Provider struct {
 	lastRevocation map[Region]sim.Time
 	hasRevocation  map[Region]bool
 
+	// capacity optionally bounds the transient pool per (region, GPU)
+	// cell; see capacity.go. Nil means every cell is infinite, which is
+	// the pre-fleet behavior exactly.
+	capacity        Capacity
+	inUse           map[PoolKey]int
+	onCapacityFreed func(PoolKey)
+
 	instances []*Instance
 }
 
@@ -77,7 +84,14 @@ func (p *Provider) Now() sim.Time { return p.k.Now() }
 func (p *Provider) Kernel() *sim.Kernel { return p.k }
 
 // Instances returns all instances ever requested, in request order.
-func (p *Provider) Instances() []*Instance { return p.instances }
+// The slice is a copy: callers (trackers, fleet schedulers) iterate
+// and filter it freely without being able to corrupt the provider's
+// own bookkeeping by aliasing.
+func (p *Provider) Instances() []*Instance {
+	out := make([]*Instance, len(p.instances))
+	copy(out, p.instances)
+	return out
+}
 
 // Launch requests an instance and schedules its whole lifecycle. It
 // returns the instance immediately (in Requested state); the instance
@@ -86,7 +100,9 @@ func (p *Provider) Instances() []*Instance { return p.instances }
 //
 // It returns an error if the placement is not offered (Table V's N/A
 // cells) — GPU requests only; CPU-only servers are available
-// everywhere.
+// everywhere — or an ErrNoCapacity-wrapped error if the placement is a
+// transient GPU cell whose configured pool is fully in use (see
+// capacity.go; the default pool is infinite and never rejects).
 func (p *Provider) Launch(req Request) (*Instance, error) {
 	if !req.Region.Valid() {
 		return nil, fmt.Errorf("cloud: invalid region %d", int(req.Region))
@@ -110,6 +126,10 @@ func (p *Provider) Launch(req Request) (*Instance, error) {
 		RequestedAt: p.k.Now(),
 		onRunning:   req.OnRunning,
 		onRevoked:   req.OnRevoked,
+	}
+	if err := p.acquireSlot(in); err != nil {
+		p.nextID-- // the request was rejected, not accepted then killed
+		return nil, err
 	}
 	p.instances = append(p.instances, in)
 
@@ -175,7 +195,10 @@ func gpuOrK80(g model.GPU) model.GPU {
 	return g
 }
 
-// revoke preempts a running transient instance.
+// revoke preempts a running transient instance. The pool slot frees
+// before OnRevoked runs (so the victim's immediate replacement can
+// reclaim it, §V-B) but the capacity-freed hook fires after (so a
+// fleet scheduler sees the post-replacement state of the pool).
 func (p *Provider) revoke(in *Instance) {
 	if in.state != Running {
 		return
@@ -184,8 +207,12 @@ func (p *Provider) revoke(in *Instance) {
 	in.EndedAt = p.k.Now()
 	p.lastRevocation[in.Region] = p.k.Now()
 	p.hasRevocation[in.Region] = true
+	key, freed := p.releaseSlot(in)
 	if in.onRevoked != nil {
 		in.onRevoked(in)
+	}
+	if freed {
+		p.notifyFreed(key)
 	}
 }
 
@@ -196,6 +223,9 @@ func (p *Provider) expire(in *Instance) {
 	}
 	in.state = Terminated
 	in.EndedAt = p.k.Now()
+	if key, freed := p.releaseSlot(in); freed {
+		p.notifyFreed(key)
+	}
 }
 
 // Terminate stops an instance at the customer's request. Terminating
@@ -209,6 +239,9 @@ func (p *Provider) Terminate(in *Instance) {
 	}
 	in.state = Terminated
 	in.EndedAt = p.k.Now()
+	if key, freed := p.releaseSlot(in); freed {
+		p.notifyFreed(key)
+	}
 }
 
 // churning reports whether the region had a revocation within the

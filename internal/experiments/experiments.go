@@ -82,6 +82,7 @@ func All() []Runner {
 func Extras() []Runner {
 	return []Runner{
 		{ID: "revmodels", Title: "Revocation-model comparison: cost/time under each lifetime regime (same grid)", Plan: planRevModels},
+		{ID: "fleet", Title: "Fleet scheduler comparison: multi-job contention on a capacity-constrained transient pool", Plan: planFleet},
 	}
 }
 

@@ -1,0 +1,291 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+)
+
+// Placement is a scheduler's answer for one job: which cell of the
+// cloud to run its whole cluster in. Fleet jobs are homogeneous (one
+// GPU type, one region), matching the paper's own campaign sessions.
+type Placement struct {
+	Region cloud.Region
+	GPU    model.GPU
+	Tier   cloud.Tier
+}
+
+// Label renders the placement for job results.
+func (p Placement) Label() string {
+	return fmt.Sprintf("%s/%s %s", p.Region, p.GPU, p.Tier)
+}
+
+// PoolView is the scheduler's read-only window onto the shared pool.
+type PoolView interface {
+	// Available returns how many transient servers the (region, GPU)
+	// cell can still accept, or -1 when the cell is unconstrained.
+	Available(r cloud.Region, g model.GPU) int
+	// NowHours is the current virtual time.
+	NowHours() float64
+}
+
+// Scheduler decides admission: which waiting job starts next, and
+// where. Implementations must be stateless across calls (the fleet may
+// be replicated across campaign workers) and deterministic — given the
+// same queue and pool view they must return the same pick.
+type Scheduler interface {
+	// Name is the registry identity; it appears in fleet keys, so
+	// equal names must mean equal policy.
+	Name() string
+	// Pick inspects the waiting queue (arrival order) and returns the
+	// index of the job to admit with its placement, or ok=false to
+	// leave everything queued. The fleet calls Pick repeatedly until
+	// it declines, re-invoking it whenever arrivals or freed capacity
+	// change the answer.
+	Pick(queue []*Job, pool PoolView) (idx int, pl Placement, ok bool)
+}
+
+// Waker is an optional Scheduler extension for policies whose answer
+// changes with the passage of time alone, not just with arrivals or
+// freed capacity (which already re-open admission). Whenever an
+// admission pass ends with jobs still queued, the fleet asks a Waker
+// when it next wants to be consulted and schedules a re-check at that
+// virtual time. NextWakeHours must return a time strictly after now
+// (times at or before now are the current pass's job, not a wake-up)
+// or ok=false for "nothing time-driven pending".
+type Waker interface {
+	NextWakeHours(queue []*Job, pool PoolView) (hours float64, ok bool)
+}
+
+// DefaultSchedulerName is the policy used when a fleet config names
+// none: strict arrival order, the simplest baseline.
+const DefaultSchedulerName = "fifo"
+
+// schedulerRegistry mirrors cloud's lifetime-model registry:
+// first-come names, builtins at init, reads dominating writes.
+var (
+	schedulerMu       sync.RWMutex
+	schedulerRegistry = map[string]Scheduler{}
+)
+
+func init() {
+	for _, s := range []Scheduler{
+		fifoScheduler{},
+		costGreedyScheduler{},
+		deadlineAwareScheduler{},
+	} {
+		if err := RegisterScheduler(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RegisterScheduler adds a policy to the registry. Names are
+// first-come-first-served: registering a name twice is an error, so a
+// custom policy can never silently shadow a builtin (fleet keys embed
+// the name, and the planner cache depends on a name meaning one policy
+// for the life of the process).
+func RegisterScheduler(s Scheduler) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("fleet: scheduler has an empty name")
+	}
+	schedulerMu.Lock()
+	defer schedulerMu.Unlock()
+	if _, dup := schedulerRegistry[name]; dup {
+		return fmt.Errorf("fleet: scheduler %q already registered", name)
+	}
+	schedulerRegistry[name] = s
+	return nil
+}
+
+// LookupScheduler resolves a policy name; the empty string means the
+// default. Unknown names report the available ones.
+func LookupScheduler(name string) (Scheduler, error) {
+	if name == "" {
+		name = DefaultSchedulerName
+	}
+	schedulerMu.RLock()
+	s, ok := schedulerRegistry[name]
+	schedulerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown scheduler %q (available: %v)", name, SchedulerNames())
+	}
+	return s, nil
+}
+
+// SchedulerNames lists every registered policy, sorted, with the
+// default first — the order /v1/catalog reports.
+func SchedulerNames() []string {
+	schedulerMu.RLock()
+	names := make([]string, 0, len(schedulerRegistry))
+	for name := range schedulerRegistry {
+		if name != DefaultSchedulerName {
+			names = append(names, name)
+		}
+	}
+	schedulerMu.RUnlock()
+	sort.Strings(names)
+	return append([]string{DefaultSchedulerName}, names...)
+}
+
+// fits reports whether the cell can hold the job's whole cluster.
+func fits(pool PoolView, r cloud.Region, g model.GPU, workers int) bool {
+	if !cloud.Offered(r, g) {
+		return false
+	}
+	free := pool.Available(r, g)
+	return free < 0 || free >= workers
+}
+
+// firstRegionWithRoom scans regions in Table V order for one that
+// offers g and can hold the cluster.
+func firstRegionWithRoom(pool PoolView, g model.GPU, workers int) (cloud.Region, bool) {
+	for _, r := range cloud.AllRegions() {
+		if fits(pool, r, g, workers) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// fifoScheduler is strict arrival order: only the head of the queue
+// may start, on its requested GPU class, in the first region (Table V
+// order) with room. A blocked head blocks everyone behind it — the
+// head-of-line baseline the smarter policies are measured against.
+type fifoScheduler struct{}
+
+func (fifoScheduler) Name() string { return "fifo" }
+
+func (fifoScheduler) Pick(queue []*Job, pool PoolView) (int, Placement, bool) {
+	if len(queue) == 0 {
+		return 0, Placement{}, false
+	}
+	spec := queue[0].Spec
+	if r, ok := firstRegionWithRoom(pool, spec.GPU, spec.Workers); ok {
+		return 0, Placement{Region: r, GPU: spec.GPU, Tier: cloud.Transient}, true
+	}
+	return 0, Placement{}, false
+}
+
+// costGreedyScheduler admits, across the whole queue, the (job,
+// placement) pair with the lowest expected dollars per step — hourly
+// transient price over idealized speed — substituting GPU classes
+// freely. It never buys on-demand: cost is the objective, deadlines
+// are not its problem. Ties break toward earlier arrivals, then the
+// catalog order of GPUs and regions, keeping the pick deterministic.
+type costGreedyScheduler struct{}
+
+func (costGreedyScheduler) Name() string { return "cost-greedy" }
+
+// dollarsPerStep is the idealized marginal cost of one training step
+// for the job's cluster on GPU g (parameter server included, startup
+// and revocations excluded).
+func dollarsPerStep(spec JobSpec, g model.GPU) float64 {
+	hourly := float64(spec.Workers)*model.HourlyPrice(g, true) + model.ParameterServerHourly
+	stepsPerHour := model.StepsPerSecond(g, spec.Model) * float64(spec.Workers) * 3600
+	return hourly / stepsPerHour
+}
+
+func (costGreedyScheduler) Pick(queue []*Job, pool PoolView) (int, Placement, bool) {
+	bestIdx, bestPl, best := -1, Placement{}, 0.0
+	for i, job := range queue {
+		for _, g := range model.AllGPUs() {
+			r, ok := firstRegionWithRoom(pool, g, job.Spec.Workers)
+			if !ok {
+				continue
+			}
+			cost := dollarsPerStep(job.Spec, g)
+			if bestIdx < 0 || cost < best {
+				bestIdx, bestPl, best = i, Placement{Region: r, GPU: g, Tier: cloud.Transient}, cost
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, Placement{}, false
+	}
+	return bestIdx, bestPl, true
+}
+
+// onDemandSlackFactor controls the deadline-aware policy's last
+// responsible moment: once a job's remaining time to deadline shrinks
+// below this multiple of its optimistic on-demand runtime, waiting for
+// a transient slot risks the deadline more than paying full price
+// does.
+const onDemandSlackFactor = 1.3
+
+// deadlineAwareScheduler is earliest-deadline-first with transient
+// preference and an on-demand escape hatch: the most urgent job gets
+// the fastest transient cell that fits (urgency beats price); a job
+// nobody can fit keeps waiting until waiting itself would blow its
+// deadline, at which point it is started on-demand (infinite pool,
+// no revocations) on its requested GPU class. Less urgent jobs may
+// backfill past a blocked-but-not-yet-at-risk job.
+type deadlineAwareScheduler struct{}
+
+func (deadlineAwareScheduler) Name() string { return "deadline-aware" }
+
+func (deadlineAwareScheduler) Pick(queue []*Job, pool PoolView) (int, Placement, bool) {
+	order := make([]int, len(queue))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return queue[order[a]].Spec.DeadlineAtHours() < queue[order[b]].Spec.DeadlineAtHours()
+	})
+	now := pool.NowHours()
+	for _, idx := range order {
+		spec := queue[idx].Spec
+		// Fastest transient cell that fits: GPUs by descending speed
+		// for this model, regions in Table V order.
+		bestG, bestHours, found := model.GPU(0), 0.0, false
+		for _, g := range model.AllGPUs() {
+			if _, ok := firstRegionWithRoom(pool, g, spec.Workers); !ok {
+				continue
+			}
+			if h := spec.OptimisticHours(g); !found || h < bestHours {
+				bestG, bestHours, found = g, h, true
+			}
+		}
+		if found {
+			r, _ := firstRegionWithRoom(pool, bestG, spec.Workers)
+			return idx, Placement{Region: r, GPU: bestG, Tier: cloud.Transient}, true
+		}
+		// No transient room anywhere: start on-demand if this job has
+		// reached its last responsible moment.
+		remaining := spec.DeadlineAtHours() - now
+		if remaining <= spec.OptimisticHours(spec.GPU)*onDemandSlackFactor {
+			r, ok := firstRegionWithRoom(pool, spec.GPU, 0)
+			if !ok {
+				continue // GPU class offered nowhere; leave queued
+			}
+			return idx, Placement{Region: r, GPU: spec.GPU, Tier: cloud.OnDemand}, true
+		}
+	}
+	return 0, Placement{}, false
+}
+
+// NextWakeHours implements Waker: the earliest queued job's last
+// responsible moment that is still ahead. Without this wake-up the
+// on-demand fallback could only trigger piggybacked on an unrelated
+// event (an arrival, a finish, a freed slot) — a quiet queue would
+// starve past its deadlines, which is exactly what the policy promises
+// not to do.
+func (deadlineAwareScheduler) NextWakeHours(queue []*Job, pool PoolView) (float64, bool) {
+	now := pool.NowHours()
+	best, found := 0.0, false
+	for _, job := range queue {
+		spec := job.Spec
+		at := spec.DeadlineAtHours() - spec.OptimisticHours(spec.GPU)*onDemandSlackFactor
+		if at <= now {
+			continue // already actionable; Pick handles it this pass
+		}
+		if !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,195 @@
+// Package fleet simulates many training jobs competing for one
+// shared, capacity-constrained transient GPU pool: the multi-tenant
+// reading of the paper's churn characterization (§V, Fig. 7), where
+// revocations are not isolated accidents but one job's loss becoming
+// another job's admission slot. It layers a reproducible workload
+// generator, a pluggable scheduler registry, and a deterministic
+// multi-job simulator on the existing sim kernel, cloud substrate, and
+// session manager — the fleet-level cost/throughput trade-off framed
+// by Li et al.'s "Speeding up Deep Learning with Transient Servers"
+// and the heterogeneity-aware schedulers of Tyagi & Sharma.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// ArrivalProcess names a job inter-arrival law.
+type ArrivalProcess string
+
+const (
+	// ArrivalPoisson draws i.i.d. exponential gaps — the memoryless
+	// baseline of queueing analysis.
+	ArrivalPoisson ArrivalProcess = "poisson"
+	// ArrivalBursty clusters arrivals: most jobs land minutes after
+	// the previous one, with occasional long lulls, so the pool sees
+	// contention spikes a Poisson stream of equal mean rate would
+	// smooth away.
+	ArrivalBursty ArrivalProcess = "bursty"
+)
+
+// ArrivalProcesses lists the supported laws.
+func ArrivalProcesses() []ArrivalProcess {
+	return []ArrivalProcess{ArrivalPoisson, ArrivalBursty}
+}
+
+// ParseArrival validates an arrival-process name; empty means Poisson.
+func ParseArrival(name string) (ArrivalProcess, error) {
+	if name == "" {
+		return ArrivalPoisson, nil
+	}
+	for _, a := range ArrivalProcesses() {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("fleet: unknown arrival process %q (want %v)", name, ArrivalProcesses())
+}
+
+// WorkloadSpec declares a reproducible job-arrival stream. Job shapes
+// are drawn from the repo's existing catalog — the four canonical
+// models, the three GPU types, and the small cluster sizes the paper's
+// own campaign uses — so every fleet job is a configuration the
+// single-job layers already know how to simulate.
+type WorkloadSpec struct {
+	// Jobs is how many jobs arrive over the run.
+	Jobs int
+	// Arrival selects the inter-arrival law (empty: poisson).
+	Arrival ArrivalProcess
+	// RatePerHour is the long-run mean arrival rate.
+	RatePerHour float64
+	// StepsPerWorker scales each job's training target with its
+	// cluster size, like the sweep experiments.
+	StepsPerWorker int64
+	// CheckpointInterval is Ic in steps for every job (0: 1000).
+	CheckpointInterval int64
+}
+
+// Validate rejects impossible workloads and fills defaults.
+func (w *WorkloadSpec) Validate() error {
+	if w.Jobs <= 0 {
+		return fmt.Errorf("fleet: workload needs a positive job count, got %d", w.Jobs)
+	}
+	if w.RatePerHour <= 0 {
+		return fmt.Errorf("fleet: workload needs a positive arrival rate, got %g/h", w.RatePerHour)
+	}
+	if w.StepsPerWorker <= 0 {
+		return fmt.Errorf("fleet: workload needs positive steps per worker, got %d", w.StepsPerWorker)
+	}
+	if w.Arrival == "" {
+		w.Arrival = ArrivalPoisson
+	}
+	if _, err := ParseArrival(string(w.Arrival)); err != nil {
+		return err
+	}
+	if w.CheckpointInterval == 0 {
+		w.CheckpointInterval = 1000
+	}
+	if w.CheckpointInterval < 0 {
+		return fmt.Errorf("fleet: checkpoint interval must not be negative")
+	}
+	return nil
+}
+
+// JobSpec is one generated training job: a catalog configuration plus
+// an arrival time, a completion deadline, and a budget.
+type JobSpec struct {
+	ID                 int
+	Model              model.Model
+	GPU                model.GPU // requested GPU class; schedulers may substitute
+	Workers            int
+	Steps              int64 // total training target across the cluster
+	CheckpointInterval int64
+	// ArrivalSeconds is when the job enters the queue (virtual time).
+	ArrivalSeconds float64
+	// DeadlineHours is the completion deadline measured from arrival.
+	DeadlineHours float64
+	// BudgetUSD is what the job's owner is willing to spend.
+	BudgetUSD float64
+}
+
+// DeadlineAtHours returns the job's absolute deadline in simulation
+// hours.
+func (j JobSpec) DeadlineAtHours() float64 {
+	return j.ArrivalSeconds/3600 + j.DeadlineHours
+}
+
+// Label renders the job for tables and logs.
+func (j JobSpec) Label() string {
+	return fmt.Sprintf("job%d %s %d×%v", j.ID, j.Model.Name, j.Workers, j.GPU)
+}
+
+// OptimisticHours is the job's idealized runtime on GPU g: perfect
+// linear scaling at the Table I single-worker speed, no startup, no
+// checkpoints, no revocations. Schedulers use it as a lower bound when
+// ranking placements; deadlines and budgets are sized as multiples of
+// it so that some jobs are tight and some are slack.
+func (j JobSpec) OptimisticHours(g model.GPU) float64 {
+	speed := model.StepsPerSecond(g, j.Model) * float64(j.Workers)
+	return float64(j.Steps) / speed / 3600
+}
+
+// Bursty-arrival shape: a fraction of gaps are long lulls, the rest
+// are short intra-burst spacings, tuned so the long-run mean rate
+// still matches RatePerHour.
+const (
+	burstBreakProb       = 0.3
+	burstIntraGapSeconds = 120.0
+	minBurstLullSeconds  = 600.0
+)
+
+// Generate draws the workload's job stream from rng. The stream is a
+// pure function of (spec, rng seed): jobs arrive in ID order with
+// strictly increasing arrival times, shapes drawn uniformly from the
+// catalog, and deadlines/budgets drawn relative to each job's
+// optimistic runtime and transient price (deadline 1.5–4× optimistic,
+// budget 1.2–3× the idealized transient bill), so schedulers face a
+// mix of tight and slack jobs.
+func (w WorkloadSpec) Generate(rng *stats.Rng) ([]JobSpec, error) {
+	spec := w
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	models := model.CanonicalModels()
+	gpus := model.AllGPUs()
+	sizes := []int{1, 2, 4}
+
+	meanGap := 3600 / spec.RatePerHour
+	lullGap := (meanGap - (1-burstBreakProb)*burstIntraGapSeconds) / burstBreakProb
+	if lullGap < minBurstLullSeconds {
+		lullGap = minBurstLullSeconds
+	}
+
+	jobs := make([]JobSpec, 0, spec.Jobs)
+	arrival := 0.0
+	for i := 0; i < spec.Jobs; i++ {
+		switch spec.Arrival {
+		case ArrivalBursty:
+			if i == 0 || rng.Bernoulli(burstBreakProb) {
+				arrival += rng.Exponential(lullGap)
+			} else {
+				arrival += rng.Exponential(burstIntraGapSeconds)
+			}
+		default: // ArrivalPoisson
+			arrival += rng.Exponential(meanGap)
+		}
+		j := JobSpec{
+			ID:                 i,
+			Model:              models[rng.Intn(len(models))],
+			GPU:                gpus[rng.Intn(len(gpus))],
+			Workers:            sizes[rng.Intn(len(sizes))],
+			CheckpointInterval: spec.CheckpointInterval,
+			ArrivalSeconds:     arrival,
+		}
+		j.Steps = spec.StepsPerWorker * int64(j.Workers)
+		optimistic := j.OptimisticHours(j.GPU)
+		j.DeadlineHours = optimistic * rng.Uniform(1.5, 4.0)
+		idealBill := optimistic * (float64(j.Workers)*model.HourlyPrice(j.GPU, true) + model.ParameterServerHourly)
+		j.BudgetUSD = idealBill * rng.Uniform(1.2, 3.0)
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

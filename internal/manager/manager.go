@@ -10,6 +10,7 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cloud"
@@ -116,6 +117,13 @@ type Session struct {
 	psUp        int
 	started     bool
 
+	// owned lists every instance this session ever launched (parameter
+	// servers, workers, replacements), in launch order. It is the
+	// session's billing scope: on a shared provider running many
+	// sessions (internal/fleet), each session pays for exactly its own
+	// servers.
+	owned []*cloud.Instance
+
 	// pending holds worker placements whose instances are up before
 	// the parameter servers are.
 	pending []Placement
@@ -168,6 +176,7 @@ func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
 			return nil, err
 		}
 		s.psInstances = append(s.psInstances, in)
+		s.owned = append(s.owned, in)
 	}
 	for _, w := range cfg.Workers {
 		if err := s.requestWorker(w); err != nil {
@@ -206,8 +215,26 @@ func (s *Session) TrainingSeconds() float64 {
 // Done reports whether the target step count was reached.
 func (s *Session) Done() bool { return s.cluster.Done() }
 
-// Cost returns the provider bill so far in USD.
-func (s *Session) Cost() float64 { return s.provider.TotalCost() }
+// Cost returns the session's bill so far in USD: the summed cost of
+// every instance the session launched. On a dedicated provider this
+// equals Provider.TotalCost (same instances, same order, so the sum is
+// bit-identical); on a shared, multi-session provider it is the only
+// correct per-job bill.
+func (s *Session) Cost() float64 {
+	var sum float64
+	for _, in := range s.owned {
+		sum += in.Cost(s.provider.Now())
+	}
+	return sum
+}
+
+// Instances returns every instance the session ever launched, in
+// launch order.
+func (s *Session) Instances() []*cloud.Instance {
+	out := make([]*cloud.Instance, len(s.owned))
+	copy(out, s.owned)
+	return out
+}
 
 // requestWorker launches one GPU instance and wires its lifecycle.
 func (s *Session) requestWorker(pl Placement) error {
@@ -222,6 +249,7 @@ func (s *Session) requestWorker(pl Placement) error {
 		return err
 	}
 	s.instances[in.ID] = pl
+	s.owned = append(s.owned, in)
 	return nil
 }
 
@@ -298,20 +326,45 @@ func (s *Session) workerRevoked(in *cloud.Instance) {
 	}
 }
 
+// Capacity-blocked replacement retry cadence, in seconds of virtual
+// time. While the region is inside the post-revocation churn window
+// (Fig. 7) the transient pool is actively cycling — revocations are
+// freeing slots on minute timescales — so a blocked session polls
+// quickly; in a calm region nothing frees until another job finishes
+// or the 24 h cap lands, so it backs off.
+const (
+	capacityRetryChurnSeconds = 20
+	capacityRetryCalmSeconds  = 60
+)
+
 // replace requests a same-placement instance after delay seconds,
-// respecting the replacement budget.
+// respecting the replacement budget. On a capacity-constrained
+// provider (internal/fleet's shared pool) the request can be rejected
+// with cloud.ErrNoCapacity; the session then retries on a churn-aware
+// cadence until a slot frees or training finishes, consuming only one
+// unit of the replacement budget for the whole retry loop.
 func (s *Session) replace(pl Placement, delay float64) {
 	if s.cfg.MaxReplacements > 0 && s.replacements >= s.cfg.MaxReplacements {
 		return
 	}
 	s.replacements++
-	launch := func() {
+	var launch func()
+	launch = func() {
 		if s.cluster.Done() {
 			return
 		}
-		// Replacement requests can themselves fail only for invalid
-		// placements, which validate() already excluded.
-		if err := s.requestWorker(pl); err != nil {
+		err := s.requestWorker(pl)
+		switch {
+		case err == nil:
+		case errors.Is(err, cloud.ErrNoCapacity):
+			retry := capacityRetryCalmSeconds
+			if s.provider.Churning(pl.Region) {
+				retry = capacityRetryChurnSeconds
+			}
+			s.provider.Kernel().After(float64(retry), launch)
+		default:
+			// Other replacement failures mean an invalid placement,
+			// which validate() already excluded.
 			panic(fmt.Sprintf("manager: replacement failed: %v", err))
 		}
 	}
@@ -323,14 +376,10 @@ func (s *Session) replace(pl Placement, delay float64) {
 }
 
 // TerminateAll stops every instance the session owns (end of study or
-// budget cut).
+// budget cut). Terminating an already-ended instance is a no-op, so
+// iterating the full owned list is safe.
 func (s *Session) TerminateAll() {
-	for _, in := range s.psInstances {
+	for _, in := range s.owned {
 		s.provider.Terminate(in)
-	}
-	for _, in := range s.provider.Instances() {
-		if _, ours := s.instances[in.ID]; ours {
-			s.provider.Terminate(in)
-		}
 	}
 }

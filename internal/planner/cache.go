@@ -3,13 +3,13 @@ package planner
 import (
 	"container/list"
 	"sync"
-
-	"repro/internal/experiments"
 )
 
 // lru is the planner's seed-keyed result cache. Keys are canonical
-// scenario identities plus the campaign seed (see cacheKey), values
-// are finished measurements. Simulated sessions are pure functions of
+// identities plus the campaign seed — single-scenario keys (cacheKey)
+// and fleet keys (fleetCacheKey) share the one namespace, with
+// disjoint prefixes keeping the families apart — and values are the
+// corresponding finished results. Simulations are pure functions of
 // their key, so entries never go stale; capacity is the only reason to
 // evict, and least-recently-used is the right victim because planning
 // sessions revisit the scenarios they are deciding between.
@@ -22,7 +22,7 @@ type lru struct {
 
 type lruEntry struct {
 	key string
-	val experiments.ScenarioOutcome
+	val any
 }
 
 func newLRU(capacity int) *lru {
@@ -33,13 +33,13 @@ func newLRU(capacity int) *lru {
 	}
 }
 
-// Get returns the cached outcome and refreshes its recency.
-func (c *lru) Get(key string) (experiments.ScenarioOutcome, bool) {
+// Get returns the cached result and refreshes its recency.
+func (c *lru) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return experiments.ScenarioOutcome{}, false
+		return nil, false
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
@@ -47,7 +47,7 @@ func (c *lru) Get(key string) (experiments.ScenarioOutcome, bool) {
 
 // Add inserts or refreshes an entry and reports whether a victim was
 // evicted to make room.
-func (c *lru) Add(key string, val experiments.ScenarioOutcome) (evicted bool) {
+func (c *lru) Add(key string, val any) (evicted bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

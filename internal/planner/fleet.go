@@ -1,0 +1,185 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/fleet"
+)
+
+// maxFleetJobs bounds one fleet query's workload; a fleet run is one
+// unit (one kernel), so its cost scales with jobs × steps and a
+// runaway count would pin a pool worker far longer than any grid cell.
+const maxFleetJobs = 1024
+
+// FleetQuery declares one fleet simulation over the wire: a workload,
+// a capacity-constrained pool, and a scheduler to run it under.
+type FleetQuery struct {
+	// Scheduler names the admission policy — a name from the
+	// catalog's schedulers list. Empty means fifo.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Jobs is how many jobs arrive (required).
+	Jobs int `json:"jobs"`
+	// Arrival is the inter-arrival law: "poisson" (default) or
+	// "bursty".
+	Arrival string `json:"arrival,omitempty"`
+	// RatePerHour is the mean arrival rate (required).
+	RatePerHour float64 `json:"rate_per_hour"`
+	// StepsPerWorker scales each job's training target with its
+	// cluster size (required).
+	StepsPerWorker int64 `json:"steps_per_worker"`
+	// CheckpointInterval is Ic in steps (0: 1000).
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	// Capacity caps transient pool cells, keyed "region/GPU" (e.g.
+	// "us-west1/V100": 4). Empty means an infinite pool.
+	Capacity map[string]int `json:"capacity,omitempty"`
+	// RevModel selects the revocation regime (catalog name; empty:
+	// default).
+	RevModel string `json:"rev_model,omitempty"`
+	// HorizonHours bounds the run (0: a week).
+	HorizonHours float64 `json:"horizon_hours,omitempty"`
+	// WorkloadSeed seeds job generation independently of Seed (0:
+	// derived from Seed), letting clients hold the job stream fixed
+	// while varying cloud randomness.
+	WorkloadSeed int64 `json:"workload_seed,omitempty"`
+	Seed         int64 `json:"seed"`
+}
+
+// config validates the query into a fleet config.
+func (q FleetQuery) config() (fleet.Config, error) {
+	if _, err := fleet.LookupScheduler(q.Scheduler); err != nil {
+		return fleet.Config{}, err
+	}
+	arrival, err := fleet.ParseArrival(q.Arrival)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	if q.Jobs > maxFleetJobs {
+		return fleet.Config{}, fmt.Errorf("planner: %d jobs exceeds the per-query limit of %d", q.Jobs, maxFleetJobs)
+	}
+	capacity, err := fleet.CapacityFromCells(q.Capacity)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	ic, err := resolveCheckpointInterval(q.CheckpointInterval)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg := fleet.Config{
+		Workload: fleet.WorkloadSpec{
+			Jobs:               q.Jobs,
+			Arrival:            arrival,
+			RatePerHour:        q.RatePerHour,
+			StepsPerWorker:     q.StepsPerWorker,
+			CheckpointInterval: ic,
+		},
+		Scheduler:    q.Scheduler,
+		RevModel:     q.RevModel,
+		Capacity:     capacity,
+		HorizonHours: q.HorizonHours,
+		WorkloadSeed: q.WorkloadSeed,
+	}
+	// Validate the rest (workload bounds, horizon, rev model) exactly
+	// as Run would, so bad queries fail as 400s before dispatch.
+	if err := cfg.Validate(); err != nil {
+		return fleet.Config{}, err
+	}
+	return cfg, nil
+}
+
+// fleetCacheKey is the fleet family's full result identity: canonical
+// config key plus the campaign seed, in the same cache namespace as
+// single-scenario keys (the "fleet|" prefix keeps them disjoint).
+func fleetCacheKey(cfg fleet.Config, seed int64) string {
+	return fmt.Sprintf("%s|seed=%d", cfg.Key(), seed)
+}
+
+// FleetItem is one NDJSON line of a fleet response: either one job's
+// outcome or the trailing summary.
+type FleetItem struct {
+	// Job is one per-job line; nil on the summary line.
+	Job *fleet.JobResult `json:"job,omitempty"`
+	// Summary is the final aggregate line: the fleet result with its
+	// per-job list stripped (the jobs were already streamed).
+	Summary *FleetSummary `json:"summary,omitempty"`
+}
+
+// FleetSummary is the aggregate trailer of a fleet response.
+type FleetSummary struct {
+	Scheduler      string  `json:"scheduler"`
+	RevModel       string  `json:"rev_model"`
+	Capacity       string  `json:"capacity"`
+	Key            string  `json:"key"`
+	Seed           int64   `json:"seed"`
+	Jobs           int     `json:"jobs"`
+	Completed      int     `json:"completed"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	OverBudgetJobs int     `json:"over_budget_jobs"`
+	MakespanHours  float64 `json:"makespan_hours"`
+	MeanWaitHours  float64 `json:"mean_wait_hours"`
+	TotalCostUSD   float64 `json:"total_cost_usd"`
+	Revocations    int     `json:"revocations"`
+	Cached         bool    `json:"cached"`
+}
+
+// Fleet answers a fleet query (cached, coalesced) and emits the
+// per-job results in arrival order followed by the aggregate summary.
+// A repeated query is a cache lookup: the simulation runs at most once
+// per (canonical key, seed).
+func (p *Planner) Fleet(ctx context.Context, q FleetQuery, emit func(FleetItem) error) error {
+	cfg, err := q.config()
+	if err != nil {
+		return &BadRequestError{err}
+	}
+	key := fleetCacheKey(cfg, q.Seed)
+	v, cached, err := p.cached(ctx, key, func() (any, error) {
+		return p.simulateFleet(ctx, cfg, q.Seed)
+	})
+	if err != nil {
+		return err
+	}
+	res := v.(*fleet.Result)
+	for i := range res.Jobs {
+		if err := emit(FleetItem{Job: &res.Jobs[i]}); err != nil {
+			return err
+		}
+	}
+	return emit(FleetItem{Summary: &FleetSummary{
+		Scheduler:      res.Scheduler,
+		RevModel:       res.RevModel,
+		Capacity:       res.Capacity,
+		Key:            cfg.Key(),
+		Seed:           q.Seed,
+		Jobs:           len(res.Jobs),
+		Completed:      res.Completed,
+		DeadlineMisses: res.DeadlineMisses,
+		OverBudgetJobs: res.OverBudgetJobs,
+		MakespanHours:  res.MakespanHours,
+		MeanWaitHours:  res.MeanWaitHours,
+		TotalCostUSD:   res.TotalCostUSD,
+		Revocations:    res.Revocations,
+		Cached:         cached,
+	}})
+}
+
+// simulateFleet runs one fleet simulation as a single-unit campaign
+// plan on the shared pool, like simulate does for scenarios: the same
+// bounded admission queue backpressures fleet and scenario traffic
+// together, and the unit inherits the engine's panic containment.
+func (p *Planner) simulateFleet(ctx context.Context, cfg fleet.Config, seed int64) (*fleet.Result, error) {
+	plan := &campaign.Plan{
+		Seed: seed,
+		Units: []campaign.Unit{{
+			Key: cfg.Key(),
+			Run: func(unitSeed int64) (any, error) {
+				return p.runFleet(cfg, unitSeed)
+			},
+		}},
+	}
+	v, err := campaign.Engine{Pool: p.pool}.RunContext(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]any)[0].(*fleet.Result), nil
+}

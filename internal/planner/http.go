@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/model"
 )
 
@@ -20,6 +21,9 @@ import (
 //	POST /v1/measure   one measured session (cached, coalesced)
 //	POST /v1/sweep     measure a grid; streams NDJSON, one line per cell
 //	POST /v1/cheapest  cheapest grid cell meeting a deadline
+//	POST /v1/fleet     multi-job fleet simulation on a shared
+//	                   capacity-constrained pool; streams NDJSON, one
+//	                   line per job plus an aggregate summary
 //
 // Every request runs under its own context: a client that disconnects
 // cancels the scenarios it had not yet dispatched.
@@ -70,6 +74,36 @@ func (p *Planner) Handler() http.Handler {
 		}
 		writeJSON(w, res)
 	})
+	mux.HandleFunc("POST /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		var q FleetQuery
+		if !decode(w, r, &q) {
+			return
+		}
+		// No pre-validation pass: Fleet validates before it simulates
+		// and nothing streams until the whole result resolves, so the
+		// error path below still owns the status line (http.Error
+		// replaces the optimistic Content-Type).
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		wrote := false
+		err := p.Fleet(r.Context(), q, func(item FleetItem) error {
+			wrote = true
+			if err := enc.Encode(item); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		// The whole simulation resolves before the first line streams,
+		// so a failure with nothing written can still be a real status
+		// code; mid-stream errors only mean the client went away.
+		if err != nil && !wrote {
+			writeErr(w, err)
+		}
+	})
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var q SweepQuery
 		if !decode(w, r, &q) {
@@ -108,13 +142,16 @@ type Catalog struct {
 	// rev_models fields accept: the builtins plus any trace-replay
 	// models registered at daemon startup (pland -trace).
 	LifetimeModels []string `json:"lifetime_models"`
-	Experiments    []string `json:"experiments"`
+	// Schedulers are the fleet admission policies /v1/fleet accepts.
+	Schedulers  []string `json:"schedulers"`
+	Experiments []string `json:"experiments"`
 }
 
 func catalog() Catalog {
 	c := Catalog{
 		Experiments:    experiments.IDs(),
 		LifetimeModels: cloud.LifetimeModelNames(),
+		Schedulers:     fleet.SchedulerNames(),
 	}
 	for _, m := range model.Zoo() {
 		c.Models = append(c.Models, m.Name)

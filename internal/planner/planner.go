@@ -31,6 +31,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cloud"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/model"
 )
 
@@ -85,6 +86,9 @@ type Planner struct {
 	// measure runs one scenario simulation; swapped out by tests to
 	// count and stub runs.
 	measure func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, error)
+	// runFleet runs one fleet simulation; swapped out by tests, like
+	// measure.
+	runFleet func(cfg fleet.Config, seed int64) (*fleet.Result, error)
 
 	analytic analytic
 }
@@ -103,6 +107,7 @@ func New(cfg Config) *Planner {
 		measure: func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, error) {
 			return experiments.MeasureScenario(sc, steps, ic, experiments.SessionOptions{}, seed)
 		},
+		runFleet: fleet.Run,
 	}
 }
 
@@ -143,13 +148,26 @@ func interruptedError(err error) bool {
 // singleflight, then one unit dispatched onto the shared pool.
 func (p *Planner) measureCached(ctx context.Context, sc experiments.Scenario, steps, ic, seed int64) (out experiments.ScenarioOutcome, cached bool, err error) {
 	key := cacheKey(sc, steps, ic, seed)
+	v, cached, err := p.cached(ctx, key, func() (any, error) {
+		return p.simulate(ctx, sc, steps, ic, seed)
+	})
+	if err != nil {
+		return experiments.ScenarioOutcome{}, false, err
+	}
+	return v.(experiments.ScenarioOutcome), cached, nil
+}
+
+// cached is the shared cache → singleflight → run path behind every
+// cacheable query family (single scenarios and fleet runs). run must
+// produce a pure function of key; its result lands in the LRU.
+func (p *Planner) cached(ctx context.Context, key string, run func() (any, error)) (out any, cached bool, err error) {
 	for {
 		if v, ok := p.cache.Get(key); ok {
 			p.hits.Add(1)
 			return v, true, nil
 		}
 		var leaderHit bool
-		v, shared, err := p.flights.Do(ctx, key, func() (experiments.ScenarioOutcome, error) {
+		v, shared, err := p.flights.Do(ctx, key, func() (any, error) {
 			// Re-check under flight leadership: a previous leader may
 			// have filled the cache between our miss and our Do —
 			// becoming the new leader then must not re-simulate a
@@ -160,7 +178,7 @@ func (p *Planner) measureCached(ctx context.Context, sc experiments.Scenario, st
 				return v, nil
 			}
 			p.misses.Add(1)
-			out, err := p.simulate(ctx, sc, steps, ic, seed)
+			out, err := run()
 			if err == nil {
 				if p.cache.Add(key, out) {
 					p.evictions.Add(1)

@@ -500,13 +500,13 @@ func TestLRURecency(t *testing.T) {
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("evicted the recently-used entry instead of the LRU one")
 	}
-	if got, ok := c.Get("a"); !ok || got.CostUSD != 1 {
+	if got, ok := c.Get("a"); !ok || got.(experiments.ScenarioOutcome).CostUSD != 1 {
 		t.Fatal("refreshed entry was evicted")
 	}
 	if evicted := c.Add("a", d); evicted {
 		t.Fatal("updating an existing key must not evict")
 	}
-	if got, _ := c.Get("a"); got.CostUSD != 3 {
+	if got, _ := c.Get("a"); got.(experiments.ScenarioOutcome).CostUSD != 3 {
 		t.Fatal("Add did not update the existing entry")
 	}
 }

@@ -4,8 +4,6 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/experiments"
 )
 
 // flightGroup coalesces concurrent identical measurements: the first
@@ -21,14 +19,14 @@ type flightGroup struct {
 
 type flightCall struct {
 	done    chan struct{}
-	val     experiments.ScenarioOutcome
+	val     any
 	err     error
 	waiters atomic.Int64
 }
 
 // Do executes fn once per key at a time. shared reports whether this
 // caller received a leader's result rather than running fn itself.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments.ScenarioOutcome, error)) (v experiments.ScenarioOutcome, shared bool, err error) {
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
@@ -40,7 +38,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments
 		case <-c.done:
 			return c.val, true, c.err
 		case <-ctx.Done():
-			return experiments.ScenarioOutcome{}, true, context.Cause(ctx)
+			return nil, true, context.Cause(ctx)
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
