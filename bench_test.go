@@ -114,6 +114,12 @@ func BenchmarkSweep(b *testing.B) { runExperiment(b, "sweep") }
 // admission, capacity accounting, per-job sessions).
 func BenchmarkFleet(b *testing.B) { runExperiment(b, "fleet") }
 
+// BenchmarkProviders runs the cross-provider arbitrage comparison:
+// every (regime, fleet, replication) cell is a multi-market fleet
+// simulation, so this benchmark tracks the cost of the provider
+// registry and cross-market scheduling end to end.
+func BenchmarkProviders(b *testing.B) { runExperiment(b, "providers") }
+
 // BenchmarkCampaignWorkers runs a fixed batch of experiments through
 // the campaign engine at increasing pool sizes, measuring how the
 // reproduction scales with workers (the -parallel knob of cmd/repro).

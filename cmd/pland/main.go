@@ -73,9 +73,14 @@ func registerTrace(arg string) error {
 	if err != nil {
 		return err
 	}
-	if err := cloud.RegisterLifetimeModel(m); err != nil {
-		return err
+	// Registration panics on a conflict (programmer error elsewhere);
+	// a user retyping a builtin name on the command line is a usage
+	// error, so pre-check it here. Startup is single-threaded, so the
+	// check-then-register pair cannot race.
+	if _, err := cloud.LookupLifetimeModel(name); err == nil {
+		return fmt.Errorf("-trace name %q is already a registered lifetime model", name)
 	}
+	cloud.RegisterLifetimeModel(m)
 	fmt.Fprintf(os.Stderr, "pland: lifetime model %q replays %d records over %d cells: %s\n",
 		name, len(recs), len(m.CoveredCells()), strings.Join(m.CoveredCells(), ", "))
 	return nil

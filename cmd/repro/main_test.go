@@ -93,6 +93,42 @@ func TestReproFleetMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestReproProvidersMatchesGolden pins the cross-provider arbitrage
+// comparison: `repro -exp providers` (seed 42) must match its
+// committed snapshot byte for byte. Like fleet, it lives outside "all"
+// (the paper characterizes one cloud; the multi-market economy is an
+// extrapolation), so it gets its own golden; CI cross-checks it
+// against live output.
+func TestReproProvidersMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-provider campaign in -short mode")
+	}
+	r, ok := experiments.ByID("providers")
+	if !ok {
+		t.Fatal("providers experiment not registered")
+	}
+	var buf bytes.Buffer
+	if _, err := writeExperiments(&buf, []experiments.Runner{r}, 42, runtime.GOMAXPROCS(0)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "providers.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (generate with -update): %v", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("repro -exp providers drifted from the committed snapshot:\n%s\nif the change is intentional, regenerate with -update and review the diff",
+			firstDivergence(got, want))
+	}
+}
+
 // firstDivergence renders the first line where got and want differ,
 // with a little context, so a drifted digit is findable without
 // eyeballing ~20 artifacts.

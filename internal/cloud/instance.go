@@ -113,6 +113,10 @@ type Instance struct {
 
 	state   State
 	startup StartupBreakdown
+	// hourlyUSD is the price struck at acceptance from the provider's
+	// spec; zero only for instances never accepted by a provider, which
+	// fall back to the default (gce) book.
+	hourlyUSD float64
 	// holdsSlot marks a transient instance occupying a slot of a
 	// capacity-constrained pool cell; the provider releases the slot
 	// exactly once, on the transition to a terminal state.
@@ -151,8 +155,12 @@ func (in *Instance) LifetimeSeconds(now sim.Time) float64 {
 // rather than customer termination or the lifetime cap.
 func (in *Instance) WasRevoked() bool { return in.state == Revoked }
 
-// HourlyPrice returns the instance's hourly price in USD.
+// HourlyPrice returns the instance's hourly price in USD: the rate
+// struck when the provider accepted the request.
 func (in *Instance) HourlyPrice() float64 {
+	if in.hourlyUSD > 0 {
+		return in.hourlyUSD
+	}
 	if in.GPU == 0 {
 		return model.ParameterServerHourly
 	}

@@ -50,30 +50,33 @@ func init() {
 		tableVModel{},
 		newWeibullModel(),
 		newDiurnalModel(),
+		norevokeModel{},
+		newCalmWeibullModel(),
 	} {
-		if err := RegisterLifetimeModel(m); err != nil {
-			panic(err)
-		}
+		RegisterLifetimeModel(m)
 	}
 }
 
 // RegisterLifetimeModel adds a model to the registry. Names are
-// first-come-first-served: registering a name twice is an error, so a
-// custom model can never silently shadow a builtin (scenario keys
-// embed the name, and the planner cache depends on a name meaning one
-// sampling behavior for the life of the process).
-func RegisterLifetimeModel(m LifetimeModel) error {
+// first-come-first-served and conflicts are programmer errors, so a
+// duplicate (or empty) name panics with the offending name rather
+// than returning an error a startup path could ignore: a custom model
+// must never silently shadow a builtin (scenario keys embed the name,
+// and the planner cache depends on a name meaning one sampling
+// behavior for the life of the process). Callers registering
+// user-supplied names (cmd/pland -trace) pre-check with
+// LookupLifetimeModel.
+func RegisterLifetimeModel(m LifetimeModel) {
 	name := m.Name()
 	if name == "" {
-		return fmt.Errorf("cloud: lifetime model has an empty name")
+		panic("cloud: lifetime model has an empty name")
 	}
 	lifetimeMu.Lock()
 	defer lifetimeMu.Unlock()
 	if _, dup := lifetimeRegistry[name]; dup {
-		return fmt.Errorf("cloud: lifetime model %q already registered", name)
+		panic(fmt.Sprintf("cloud: lifetime model %q already registered", name))
 	}
 	lifetimeRegistry[name] = m
-	return nil
 }
 
 // LookupLifetimeModel resolves a model name; the empty string means

@@ -139,6 +139,51 @@ func (m *weibullModel) SampleLifetime(rng *stats.Rng, r Region, g model.GPU, lau
 	return true, x * 3600
 }
 
+// --- No-revocation ---------------------------------------------------
+
+// norevokeModel is the serverless-style regime: nothing is ever
+// revoked; every server survives to the lifetime cap. It anchors the
+// provider-worlds comparison — a market where the paper's entire
+// revocation machinery is worth exactly the price difference.
+type norevokeModel struct{}
+
+func (norevokeModel) Name() string { return "norevoke" }
+
+func (norevokeModel) SampleLifetime(rng *stats.Rng, r Region, g model.GPU, launchHours float64) (bool, float64) {
+	return false, MaxTransientLifetimeSeconds
+}
+
+// --- Calm Weibull ----------------------------------------------------
+
+// calmKeepFraction is the fraction of weibull revocations the calm
+// regime keeps: every cell's 24 h revocation probability is halved
+// while the conditional lifetime shape is untouched.
+const calmKeepFraction = 0.5
+
+// calmWeibullModel thins the weibull refit's revocations: each death
+// the base model draws survives instead with probability
+// 1 − calmKeepFraction. It models a market with the same catalog but a
+// materially calmer revocation climate — the axis the authors' own
+// "Speeding up Deep Learning with Transient Servers" varies across
+// providers — and is the default regime of the synthetic aws world.
+type calmWeibullModel struct {
+	base LifetimeModel
+}
+
+func newCalmWeibullModel() *calmWeibullModel {
+	return &calmWeibullModel{base: newWeibullModel()}
+}
+
+func (*calmWeibullModel) Name() string { return "calm-weibull" }
+
+func (m *calmWeibullModel) SampleLifetime(rng *stats.Rng, r Region, g model.GPU, launchHours float64) (bool, float64) {
+	revoked, life := m.base.SampleLifetime(rng, r, g, launchHours)
+	if revoked && !rng.Bernoulli(calmKeepFraction) {
+		return false, MaxTransientLifetimeSeconds
+	}
+	return revoked, life
+}
+
 // --- Diurnal ---------------------------------------------------------
 
 // diurnalModel is a non-homogeneous Poisson revocation process: the

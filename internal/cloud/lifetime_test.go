@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -32,9 +33,18 @@ func TestLifetimeModelRegistry(t *testing.T) {
 		!strings.Contains(err.Error(), "available") {
 		t.Fatalf("unknown model lookup = %v, want an error listing the registry", err)
 	}
-	if err := RegisterLifetimeModel(tableVModel{}); err == nil {
-		t.Fatal("re-registering a builtin name must fail")
-	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("re-registering a builtin name must panic")
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, DefaultLifetimeModelName) {
+				t.Fatalf("duplicate-registration panic %q does not name the offender %q", msg, DefaultLifetimeModelName)
+			}
+		}()
+		RegisterLifetimeModel(tableVModel{})
+	}()
 }
 
 // TestLifetimeModelInvariants holds every registered builtin to the

@@ -29,6 +29,7 @@ type Request struct {
 type Provider struct {
 	k        *sim.Kernel
 	rng      *stats.Rng
+	spec     *ProviderSpec
 	lifetime LifetimeModel
 
 	nextID int64
@@ -60,13 +61,33 @@ func NewProvider(k *sim.Kernel, rng *stats.Rng) *Provider {
 // NewProviderWithLifetime is NewProvider under an explicit revocation
 // regime; a nil model means the default.
 func NewProviderWithLifetime(k *sim.Kernel, rng *stats.Rng, m LifetimeModel) *Provider {
+	return NewProviderFor(k, rng, nil, m)
+}
+
+// NewProviderFor instantiates one market: a provider whose catalog,
+// prices, startup behavior, default lifetime regime, and default
+// capacity come from the spec. A nil spec means the default (gce)
+// world; a nil lifetime model means the spec's default regime. The
+// rng is forked exactly once, so construction consumes the same
+// number of caller draws on every path — the byte-identity guarantee
+// the goldens rest on.
+func NewProviderFor(k *sim.Kernel, rng *stats.Rng, spec *ProviderSpec, m LifetimeModel) *Provider {
+	if spec == nil {
+		spec = DefaultProvider()
+	}
 	if m == nil {
-		m = DefaultLifetimeModel()
+		var err error
+		m, err = LookupLifetimeModel(spec.LifetimeModel)
+		if err != nil {
+			panic(err) // RegisterProvider validated the name; unreachable
+		}
 	}
 	return &Provider{
 		k:              k,
 		rng:            rng.Fork(),
+		spec:           spec,
 		lifetime:       m,
+		capacity:       spec.Capacity.Clone(),
 		lastRevocation: make(map[Region]sim.Time),
 		hasRevocation:  make(map[Region]bool),
 	}
@@ -74,6 +95,9 @@ func NewProviderWithLifetime(k *sim.Kernel, rng *stats.Rng, m LifetimeModel) *Pr
 
 // Lifetime returns the revocation regime this provider simulates.
 func (p *Provider) Lifetime() LifetimeModel { return p.lifetime }
+
+// Spec returns the market this provider instantiates.
+func (p *Provider) Spec() *ProviderSpec { return p.spec }
 
 // Now returns the provider's virtual clock.
 func (p *Provider) Now() sim.Time { return p.k.Now() }
@@ -111,8 +135,8 @@ func (p *Provider) Launch(req Request) (*Instance, error) {
 		if !req.GPU.Valid() {
 			return nil, fmt.Errorf("cloud: invalid GPU %d", int(req.GPU))
 		}
-		if !Offered(req.Region, req.GPU) {
-			return nil, fmt.Errorf("cloud: %v not offered in %v", req.GPU, req.Region)
+		if !p.spec.Offers(req.Region, req.GPU) {
+			return nil, fmt.Errorf("cloud: %v not offered in %v by provider %s", req.GPU, req.Region, p.spec.Name)
 		}
 	}
 	p.nextID++
@@ -127,6 +151,15 @@ func (p *Provider) Launch(req Request) (*Instance, error) {
 		onRunning:   req.OnRunning,
 		onRevoked:   req.OnRevoked,
 	}
+	// Prices are struck at acceptance from the market's book; the gce
+	// book computes the exact same floats the instance used to derive
+	// from package model constants, keeping historical costs
+	// bit-identical.
+	if req.GPU == 0 {
+		in.hourlyUSD = p.spec.PSHourly
+	} else {
+		in.hourlyUSD = p.spec.GPUHourly(req.GPU, req.Tier)
+	}
 	if err := p.acquireSlot(in); err != nil {
 		p.nextID-- // the request was rejected, not accepted then killed
 		return nil, err
@@ -134,7 +167,7 @@ func (p *Provider) Launch(req Request) (*Instance, error) {
 	p.instances = append(p.instances, in)
 
 	churning := p.churning(req.Region)
-	in.startup = sampleStartup(p.rng, req.GPU, req.Tier, req.Region, churning)
+	in.startup = p.spec.Startup(p.rng, req.GPU, req.Tier, req.Region, churning)
 
 	in.state = Provisioning
 	p.k.After(in.startup.Provisioning, func() {

@@ -1,0 +1,230 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// ProviderSpec bundles one market's calibration: which (region, GPU)
+// cells it sells, what they cost, how instances start, which lifetime
+// regime transient servers default to, and (optionally) per-cell
+// transient capacity. It is the third first-come registry of the repo,
+// after lifetime models and fleet schedulers: what used to be
+// package-level GCE constants becomes one registered world among
+// several, so experiments can ask "where should this train?" across
+// markets instead of only "how should this train?" within one.
+//
+// Specs are immutable after registration: the name appears in scenario
+// and fleet keys, so equal names must mean equal market behavior for
+// the life of the process (the same contract the other registries
+// document).
+type ProviderSpec struct {
+	// Name is the registry identity, e.g. "gce"; it appears in
+	// scenario keys as prov=<name>.
+	Name string
+	// Description is a one-line provenance note for catalogs and docs.
+	Description string
+	// LifetimeModel names the revocation regime transient servers
+	// follow when a scenario does not select one explicitly (a
+	// registered lifetime-model name).
+	LifetimeModel string
+	// Offers reports whether the market sells the GPU in the region.
+	// CPU-only parameter servers are available everywhere and never
+	// consult it.
+	Offers func(r Region, g model.GPU) bool
+	// GPUHourly is the full hourly price (GPU plus host VM) of a GPU
+	// server of the given type and tier, in USD.
+	GPUHourly func(g model.GPU, t Tier) float64
+	// PSHourly is the hourly price of a CPU-only parameter server.
+	PSHourly float64
+	// Startup draws a startup breakdown for one accepted request;
+	// churning flags a recent revocation in the region (Fig. 7's
+	// "immediate request" condition).
+	Startup func(rng *stats.Rng, g model.GPU, t Tier, r Region, churning bool) StartupBreakdown
+	// Capacity optionally bounds the market's transient pool per cell;
+	// nil means every cell is infinite. Provider construction clones
+	// it, and an explicit SetTransientCapacity overrides it.
+	Capacity Capacity
+}
+
+// OfferedRegions lists the spec's regions selling the given GPU, in
+// catalog order.
+func (s *ProviderSpec) OfferedRegions(g model.GPU) []Region {
+	var out []Region
+	for _, r := range AllRegions() {
+		if s.Offers(r, g) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DefaultProviderName names the market every simulation uses unless a
+// scenario selects otherwise: the paper's GCE calibration.
+const DefaultProviderName = "gce"
+
+// providerRegistry maps provider names to specs. Builtins register at
+// init; reads vastly outnumber writes, hence the RWMutex.
+var (
+	providerMu       sync.RWMutex
+	providerRegistry = map[string]*ProviderSpec{}
+)
+
+// RegisterProvider adds a market to the registry. Names are
+// first-come-first-served and conflicts are programmer errors, so a
+// duplicate (or empty) name panics with the offending name rather than
+// returning an error a startup path could ignore: scenario keys embed
+// the name, and the planner cache depends on a name meaning one market
+// for the life of the process. The spec's default lifetime model must
+// already be registered.
+func RegisterProvider(s *ProviderSpec) {
+	if s.Name == "" {
+		panic("cloud: provider spec has an empty name")
+	}
+	if s.Offers == nil || s.GPUHourly == nil || s.Startup == nil {
+		panic(fmt.Sprintf("cloud: provider %q spec is missing Offers/GPUHourly/Startup", s.Name))
+	}
+	if _, err := LookupLifetimeModel(s.LifetimeModel); err != nil {
+		panic(fmt.Sprintf("cloud: provider %q default lifetime model: %v", s.Name, err))
+	}
+	providerMu.Lock()
+	defer providerMu.Unlock()
+	if _, dup := providerRegistry[s.Name]; dup {
+		panic(fmt.Sprintf("cloud: provider %q already registered", s.Name))
+	}
+	providerRegistry[s.Name] = s
+}
+
+// LookupProvider resolves a provider name; the empty string means the
+// default. Unknown names report the available ones.
+func LookupProvider(name string) (*ProviderSpec, error) {
+	if name == "" {
+		name = DefaultProviderName
+	}
+	providerMu.RLock()
+	s, ok := providerRegistry[name]
+	providerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown provider %q (available: %v)", name, ProviderNames())
+	}
+	return s, nil
+}
+
+// DefaultProvider returns the GCE spec.
+func DefaultProvider() *ProviderSpec {
+	s, err := LookupProvider(DefaultProviderName)
+	if err != nil {
+		panic(err) // registered at init; unreachable
+	}
+	return s
+}
+
+// ProviderNames lists every registered market, sorted, with the
+// default first — the order /v1/catalog reports.
+func ProviderNames() []string {
+	providerMu.RLock()
+	names := make([]string, 0, len(providerRegistry))
+	for name := range providerRegistry {
+		if name != DefaultProviderName {
+			names = append(names, name)
+		}
+	}
+	providerMu.RUnlock()
+	sort.Strings(names)
+	return append([]string{DefaultProviderName}, names...)
+}
+
+// --- Built-in worlds -------------------------------------------------
+
+// awsPrices is the synthetic aws-like price book: whole-instance
+// hourly prices (GPU plus host) shaped after 2019 us-east-1 EC2 list
+// prices (p2.xlarge for K80, p3.2xlarge for V100; the P100 row is
+// interpolated — EC2 never sold P100s). The spot discount is
+// deliberately shallower than GCE's fixed ~70% (about 65% here), so
+// cross-market arbitrage has a real price axis to trade on.
+var awsPrices = map[model.GPU]struct{ onDemand, spot float64 }{
+	model.K80:  {onDemand: 0.90, spot: 0.31},
+	model.P100: {onDemand: 2.10, spot: 0.74},
+	model.V100: {onDemand: 3.06, spot: 1.07},
+}
+
+// awsStartupShiftSeconds shifts every aws provisioning draw later:
+// EC2 GPU instances provision slower than GCE's in the measurements
+// the paper cites (synthetic, see DESIGN.md "Provider worlds").
+const awsStartupShiftSeconds = 15
+
+// Serverless pricing per Barrak et al.'s cost-performance comparison
+// of serverless vs. VM training: a per-invocation $/GB-second rate
+// (the 2019 Lambda list price) times the memory footprint of the
+// function bundle that stands in for one K80-class worker. There is
+// no spot market — both tiers cost the same and nothing is ever
+// revoked; the baseline isolates what revocation risk is worth.
+const (
+	serverlessGBSecondUSD = 0.0000166667
+	// serverlessWorkerGB is the aggregate memory of the concurrent
+	// invocations emulating one K80-equivalent worker slice.
+	serverlessWorkerGB = 9.6
+	// serverlessPSGB is the single long-lived coordinator function.
+	serverlessPSGB = 1.7
+)
+
+func init() {
+	RegisterProvider(&ProviderSpec{
+		Name:          DefaultProviderName,
+		Description:   "Google Cloud calibration from the paper: Table V revocations, Fig. 6/7 startup, 2019 us-central1 prices",
+		LifetimeModel: DefaultLifetimeModelName,
+		Offers:        Offered,
+		GPUHourly: func(g model.GPU, t Tier) float64 {
+			return model.HourlyPrice(g, t == Transient)
+		},
+		PSHourly: model.ParameterServerHourly,
+		Startup:  sampleStartup,
+	})
+	RegisterProvider(&ProviderSpec{
+		Name:          "aws",
+		Description:   "synthetic aws-like market: EC2-shaped prices with a shallower spot discount, calmer revocation climate (calm-weibull)",
+		LifetimeModel: "calm-weibull",
+		Offers:        Offered, // same catalog shape as the paper's Table V
+		GPUHourly: func(g model.GPU, t Tier) float64 {
+			p := awsPrices[g]
+			if t == Transient {
+				return p.spot
+			}
+			return p.onDemand
+		},
+		PSHourly: 0.192, // m5.xlarge-shaped coordinator
+		Startup: func(rng *stats.Rng, g model.GPU, t Tier, r Region, churning bool) StartupBreakdown {
+			b := sampleStartup(rng, g, t, r, churning)
+			b.Provisioning += awsStartupShiftSeconds
+			return b
+		},
+	})
+	RegisterProvider(&ProviderSpec{
+		Name:          "serverless-cpu",
+		Description:   "serverless baseline per Barrak et al.: K80-equivalent CPU function bundles, per-invocation pricing, no revocation",
+		LifetimeModel: "norevoke",
+		// The bundle emulates one fixed worker class; it is catalogued
+		// as the K80-equivalent slice, available in every region (a
+		// function deploys anywhere).
+		Offers: func(r Region, g model.GPU) bool { return g == model.K80 },
+		GPUHourly: func(g model.GPU, t Tier) float64 {
+			// No spot market: both tiers bill the same per-invocation
+			// rate, folded into an effective hourly price.
+			return serverlessGBSecondUSD * serverlessWorkerGB * 3600
+		},
+		PSHourly: serverlessGBSecondUSD * serverlessPSGB * 3600,
+		Startup: func(rng *stats.Rng, g model.GPU, t Tier, r Region, churning bool) StartupBreakdown {
+			// Function cold starts are seconds, not minutes, and churn
+			// does not exist in a pool that never revokes.
+			return StartupBreakdown{
+				Provisioning: rng.NormalPos(2.0, 0.4),
+				Staging:      rng.NormalPos(1.5, 0.3),
+				Booting:      rng.NormalPos(1.0, 0.2),
+			}
+		},
+	})
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestProvidersArbitrageBeatsBestSingleMarket pins the experiment's
+// headline claim at the golden seed: in at least one contention regime
+// the cross-provider arbitrage fleet beats the best single-market
+// fleet on deadline misses, or matches it on misses at strictly lower
+// cost. If a refactor of the markets, the price books, or the
+// scheduler erodes the win, this fails before the golden diff has to
+// be puzzled out by eye.
+func TestProvidersArbitrageBeatsBestSingleMarket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-provider campaign in -short mode")
+	}
+	res := runByID(t, "providers", 42).(*ProvidersResult)
+	if wins := res.ArbitrageWins(); len(wins) == 0 {
+		t.Fatalf("arbitrage beats the best single market in no regime:\n%s", res)
+	}
+}
+
+// TestUnionCapacityCoversEveryMarketCatalog checks the shared slot
+// budget reaches cells only some markets offer: the serverless market
+// sells K80 capacity in regions the default catalog has no GPUs in,
+// and those cells must be bounded like any other.
+func TestUnionCapacityCoversEveryMarketCatalog(t *testing.T) {
+	cap := unionCapacity(2, providerMarkets())
+	gceOnly := unionCapacity(2, []string{"gce"})
+	if len(cap) <= len(gceOnly) {
+		t.Fatalf("union over all markets covers %d cells, gce alone %d; want strictly more", len(cap), len(gceOnly))
+	}
+	for key, n := range cap {
+		if n != 2 {
+			t.Fatalf("cell %s capped at %d, want 2", key, n)
+		}
+	}
+}

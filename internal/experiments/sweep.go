@@ -27,6 +27,9 @@ type SweepSpec struct {
 	// registered with cloud.RegisterLifetimeModel); empty means the
 	// default Table V calibration only.
 	RevModels []string
+	// Providers lists the provider worlds to sweep (names registered
+	// with cloud.RegisterProvider); empty means the default (gce) only.
+	Providers []string
 	// StepsPerWorker scales the training target with cluster size so
 	// every scenario measures a comparable per-worker workload.
 	StepsPerWorker     int64
@@ -40,8 +43,12 @@ type Scenario struct {
 	Region cloud.Region
 	Tier   cloud.Tier
 	// RevModel names the revocation/lifetime regime the simulated
-	// cloud applies to transient servers; empty means the default.
+	// cloud applies to transient servers; empty means the provider's
+	// default regime (Table V for the default provider).
 	RevModel string
+	// Provider names the provider world (catalog, price book, startup,
+	// climate) the scenario runs in; empty means the default (gce).
+	Provider string
 	Workers  int
 }
 
@@ -52,18 +59,35 @@ type Scenario struct {
 func (s Scenario) Label() string {
 	base := fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
 	if s.RevModel != "" {
-		return base + " rev=" + s.RevModel
+		base += " rev=" + s.RevModel
+	}
+	if s.Provider != "" {
+		base += " prov=" + s.Provider
 	}
 	return base
 }
 
-// RevModelName resolves the scenario's revocation model name with the
-// default applied — the canonical form Key embeds.
-func (s Scenario) RevModelName() string {
-	if s.RevModel == "" {
-		return cloud.DefaultLifetimeModelName
+// ProviderName resolves the scenario's provider name with the default
+// applied — the canonical form Key embeds.
+func (s Scenario) ProviderName() string {
+	if s.Provider == "" {
+		return cloud.DefaultProviderName
 	}
-	return s.RevModel
+	return s.Provider
+}
+
+// RevModelName resolves the scenario's revocation model name with the
+// default applied — the canonical form Key embeds: an explicit name,
+// or the scenario's provider's default regime (Table V for the
+// default provider).
+func (s Scenario) RevModelName() string {
+	if s.RevModel != "" {
+		return s.RevModel
+	}
+	if spec, err := cloud.LookupProvider(s.Provider); err == nil {
+		return spec.LifetimeModel
+	}
+	return cloud.DefaultLifetimeModelName
 }
 
 // Key is the scenario's canonical identity: a stable, unambiguous
@@ -73,8 +97,8 @@ func (s Scenario) RevModelName() string {
 // see ScenarioKey), so any two queries that mean the same measurement
 // share one cache line no matter how they were phrased.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d|rev=%s",
-		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers, s.RevModelName())
+	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d|rev=%s|prov=%s",
+		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers, s.RevModelName(), s.ProviderName())
 }
 
 // ScenarioKey canonically identifies one measured scenario run: the
@@ -85,24 +109,34 @@ func ScenarioKey(sc Scenario, steps, checkpointInterval int64) string {
 	return fmt.Sprintf("%s|steps=%d|ic=%d", sc.Key(), steps, checkpointInterval)
 }
 
-// Scenarios expands the grid in declaration order (revocation model →
-// GPU → region → tier → size), skipping (region, GPU) cells the cloud
-// does not offer, mirroring the paper's own campaign structure.
+// Scenarios expands the grid in declaration order (provider →
+// revocation model → GPU → region → tier → size), skipping (region,
+// GPU) cells the provider's catalog does not offer, mirroring the
+// paper's own campaign structure. Unknown provider names expand
+// unfiltered so the measurement surfaces the lookup error instead of
+// silently producing an empty grid.
 func (s SweepSpec) Scenarios() []Scenario {
 	revs := s.RevModels
 	if len(revs) == 0 {
 		revs = []string{""}
 	}
+	provs := s.Providers
+	if len(provs) == 0 {
+		provs = []string{""}
+	}
 	var out []Scenario
-	for _, rev := range revs {
-		for _, g := range s.GPUs {
-			for _, r := range s.Regions {
-				if !cloud.Offered(r, g) {
-					continue
-				}
-				for _, tier := range s.Tiers {
-					for _, n := range s.Sizes {
-						out = append(out, Scenario{Model: s.Model, GPU: g, Region: r, Tier: tier, RevModel: rev, Workers: n})
+	for _, prov := range provs {
+		spec, specErr := cloud.LookupProvider(prov)
+		for _, rev := range revs {
+			for _, g := range s.GPUs {
+				for _, r := range s.Regions {
+					if specErr == nil && !spec.Offers(r, g) {
+						continue
+					}
+					for _, tier := range s.Tiers {
+						for _, n := range s.Sizes {
+							out = append(out, Scenario{Model: s.Model, GPU: g, Region: r, Tier: tier, RevModel: rev, Provider: prov, Workers: n})
+						}
 					}
 				}
 			}
@@ -134,9 +168,19 @@ type SessionOptions struct {
 }
 
 // runScenario measures one scenario with a full managed session on a
-// fresh kernel, resolving the scenario's revocation model by name.
+// fresh kernel, resolving the scenario's provider and revocation model
+// by name (an unnamed revocation model means the provider's default
+// regime).
 func runScenario(sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
-	lm, err := cloud.LookupLifetimeModel(sc.RevModel)
+	lmName := sc.RevModel
+	if lmName == "" {
+		spec, err := cloud.LookupProvider(sc.Provider)
+		if err != nil {
+			return ScenarioOutcome{}, err
+		}
+		lmName = spec.LifetimeModel
+	}
+	lm, err := cloud.LookupLifetimeModel(lmName)
 	if err != nil {
 		return ScenarioOutcome{}, err
 	}
@@ -147,8 +191,12 @@ func runScenario(sc Scenario, steps, ic int64, opts SessionOptions, seed int64) 
 // the path the revmodels experiment uses for models it builds itself
 // (e.g. a trace replay) without going through the registry.
 func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts SessionOptions, seed int64) (ScenarioOutcome, error) {
+	spec, err := cloud.LookupProvider(sc.Provider)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
 	k := &sim.Kernel{}
-	provider := cloud.NewProviderWithLifetime(k, stats.NewRng(seed), lm)
+	provider := cloud.NewProviderFor(k, stats.NewRng(seed), spec, lm)
 	placements := make([]manager.Placement, sc.Workers)
 	for i := range placements {
 		placements[i] = manager.Placement{GPU: sc.GPU, Region: sc.Region, Tier: sc.Tier}

@@ -120,7 +120,7 @@ func TestTableVAndFigure8ShareTheCampaign(t *testing.T) {
 
 func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
 	sc := Scenario{Model: model.ResNet15(), GPU: model.P100, Region: cloud.USWest1, Tier: cloud.Transient, Workers: 4}
-	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4|rev=table5"
+	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4|rev=table5|prov=gce"
 	if got := sc.Key(); got != want {
 		t.Fatalf("Key() = %q, want %q", got, want)
 	}
@@ -136,6 +136,18 @@ func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
 	weibull.RevModel = "weibull"
 	if weibull.Key() == sc.Key() {
 		t.Fatal("distinct revocation models share a key")
+	}
+	// Same canonicalization for the provider axis: implicit gce and
+	// explicit gce are one world, any other provider keys apart.
+	explicitProv := sc
+	explicitProv.Provider = cloud.DefaultProviderName
+	if explicitProv.Key() != sc.Key() {
+		t.Fatalf("explicit default provider keys %q, implicit %q", explicitProv.Key(), sc.Key())
+	}
+	aws := sc
+	aws.Provider = "aws"
+	if aws.Key() == sc.Key() {
+		t.Fatal("distinct providers share a key")
 	}
 	// The same scenario expanded from two differently-shaped grids must
 	// share one key: that is what makes the planner cache coherent

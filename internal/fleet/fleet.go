@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/cloud"
@@ -20,8 +21,15 @@ type Config struct {
 	// fifo).
 	Scheduler string
 	// RevModel names the revocation/lifetime regime of the simulated
-	// cloud (cloud registry name; empty: the Table V default).
+	// cloud (cloud registry name). Empty means each market's own
+	// default regime (the Table V default for the default market); a
+	// non-empty name applies to every market.
 	RevModel string
+	// Providers lists the markets the fleet schedules across (cloud
+	// provider registry names, one cloud.Provider each on the shared
+	// kernel). Empty means the default single market; the first entry
+	// is the default market unqualified placements run in.
+	Providers []string
 	// Capacity bounds the transient pool per (region, GPU) cell; nil
 	// means infinite, reducing the fleet to independent jobs.
 	Capacity cloud.Capacity
@@ -40,16 +48,41 @@ type Config struct {
 // session.
 const DefaultHorizonHours = 7 * 24
 
+// marketPlan is one resolved market of a validated config.
+type marketPlan struct {
+	spec *cloud.ProviderSpec
+	lm   cloud.LifetimeModel
+}
+
 // validate resolves names and fills defaults, returning the resolved
-// scheduler and lifetime model.
-func (c *Config) validate() (Scheduler, cloud.LifetimeModel, error) {
+// scheduler and one market plan per configured provider.
+func (c *Config) validate() (Scheduler, []marketPlan, error) {
 	sched, err := LookupScheduler(c.Scheduler)
 	if err != nil {
 		return nil, nil, err
 	}
-	lm, err := cloud.LookupLifetimeModel(c.RevModel)
-	if err != nil {
-		return nil, nil, err
+	var markets []marketPlan
+	seen := map[string]bool{}
+	for _, name := range c.providerNames() {
+		spec, err := cloud.LookupProvider(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seen[spec.Name] {
+			return nil, nil, fmt.Errorf("fleet: provider %q listed twice", spec.Name)
+		}
+		seen[spec.Name] = true
+		// An explicit regime applies to every market; otherwise each
+		// market keeps its own default climate.
+		lmName := c.RevModel
+		if lmName == "" {
+			lmName = spec.LifetimeModel
+		}
+		lm, err := cloud.LookupLifetimeModel(lmName)
+		if err != nil {
+			return nil, nil, err
+		}
+		markets = append(markets, marketPlan{spec: spec, lm: lm})
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return nil, nil, err
@@ -60,7 +93,7 @@ func (c *Config) validate() (Scheduler, cloud.LifetimeModel, error) {
 	if c.HorizonHours == 0 {
 		c.HorizonHours = DefaultHorizonHours
 	}
-	return sched, lm, nil
+	return sched, markets, nil
 }
 
 // Validate checks the config without running it — the planner's 400
@@ -69,6 +102,23 @@ func (c *Config) validate() (Scheduler, cloud.LifetimeModel, error) {
 func (c Config) Validate() error {
 	_, _, err := (&c).validate()
 	return err
+}
+
+// providerNames resolves the configured markets with the default
+// applied — the canonical list Key embeds (empty entries mean the
+// default market, like everywhere else the name is optional).
+func (c Config) providerNames() []string {
+	if len(c.Providers) == 0 {
+		return []string{cloud.DefaultProviderName}
+	}
+	out := make([]string, len(c.Providers))
+	for i, name := range c.Providers {
+		if name == "" {
+			name = cloud.DefaultProviderName
+		}
+		out[i] = name
+	}
+	return out
 }
 
 // schedulerName resolves the config's scheduler with the default
@@ -81,12 +131,16 @@ func (c Config) schedulerName() string {
 }
 
 // revModelName resolves the config's revocation model with the
-// default applied.
+// default applied: an explicit name, or the first market's default
+// regime (the Table V default for the default market).
 func (c Config) revModelName() string {
-	if c.RevModel == "" {
-		return cloud.DefaultLifetimeModelName
+	if c.RevModel != "" {
+		return c.RevModel
 	}
-	return c.RevModel
+	if spec, err := cloud.LookupProvider(c.providerNames()[0]); err == nil {
+		return spec.LifetimeModel
+	}
+	return cloud.DefaultLifetimeModelName
 }
 
 // Key is the fleet config's canonical identity: a stable field=value
@@ -109,8 +163,9 @@ func (c Config) Key() string {
 	if horizon == 0 {
 		horizon = DefaultHorizonHours
 	}
-	return fmt.Sprintf("fleet|sched=%s|rev=%s|arrival=%s|rate=%g|jobs=%d|spw=%d|ic=%d|cap=%s|horizon=%g|wseed=%d",
-		c.schedulerName(), c.revModelName(), arrival, w.RatePerHour, w.Jobs, w.StepsPerWorker, ic,
+	return fmt.Sprintf("fleet|sched=%s|prov=%s|rev=%s|arrival=%s|rate=%g|jobs=%d|spw=%d|ic=%d|cap=%s|horizon=%g|wseed=%d",
+		c.schedulerName(), strings.Join(c.providerNames(), "+"), c.revModelName(), arrival,
+		w.RatePerHour, w.Jobs, w.StepsPerWorker, ic,
 		c.Capacity.Canonical(), horizon, c.WorkloadSeed)
 }
 
@@ -143,6 +198,7 @@ type JobResult struct {
 // aggregates the scheduler comparison ranks on.
 type Result struct {
 	Scheduler string      `json:"scheduler"`
+	Providers []string    `json:"providers"`
 	RevModel  string      `json:"rev_model"`
 	Capacity  string      `json:"capacity"`
 	Jobs      []JobResult `json:"jobs"`
@@ -184,14 +240,21 @@ type Job struct {
 	sess       *manager.Session
 }
 
+// fleetMarket is one provider market of the fleet: a named
+// cloud.Provider on the shared kernel.
+type fleetMarket struct {
+	name     string
+	provider *cloud.Provider
+}
+
 // fleetSim is the run's mutable state; everything happens on the one
 // simulation thread.
 type fleetSim struct {
-	cfg      Config
-	k        *sim.Kernel
-	provider *cloud.Provider
-	sched    Scheduler
-	seed     int64
+	cfg     Config
+	k       *sim.Kernel
+	markets []fleetMarket
+	sched   Scheduler
+	seed    int64
 
 	jobs  []*Job
 	queue []*Job
@@ -206,11 +269,59 @@ type fleetSim struct {
 	err       error
 }
 
-// poolView adapts the provider to the scheduler's read-only window.
-type poolView struct{ p *cloud.Provider }
+// marketFor resolves a placement's market name; empty means the first
+// (default) market.
+func (f *fleetSim) marketFor(name string) *fleetMarket {
+	if name == "" {
+		return &f.markets[0]
+	}
+	for i := range f.markets {
+		if f.markets[i].name == name {
+			return &f.markets[i]
+		}
+	}
+	return nil
+}
 
-func (v poolView) Available(r cloud.Region, g model.GPU) int { return v.p.TransientAvailable(r, g) }
-func (v poolView) NowHours() float64                         { return v.p.Now().Hours() }
+// marketView adapts the fleet's markets to the scheduler's read-only
+// window: the embedded PoolView methods read the first (default)
+// market, so single-market policies behave exactly as they did before
+// the provider axis existed; MarketView methods see every market.
+type marketView struct{ f *fleetSim }
+
+func (v marketView) Offers(r cloud.Region, g model.GPU) bool {
+	return v.f.markets[0].provider.Spec().Offers(r, g)
+}
+func (v marketView) Available(r cloud.Region, g model.GPU) int {
+	return v.f.markets[0].provider.TransientAvailable(r, g)
+}
+func (v marketView) NowHours() float64 { return v.f.k.Now().Hours() }
+
+func (v marketView) Markets() []string {
+	names := make([]string, len(v.f.markets))
+	for i, m := range v.f.markets {
+		names[i] = m.name
+	}
+	return names
+}
+func (v marketView) MarketSpec(market string) *cloud.ProviderSpec {
+	if m := v.f.marketFor(market); m != nil {
+		return m.provider.Spec()
+	}
+	return nil
+}
+func (v marketView) MarketAvailable(market string, r cloud.Region, g model.GPU) int {
+	if m := v.f.marketFor(market); m != nil {
+		return m.provider.TransientAvailable(r, g)
+	}
+	return 0
+}
+func (v marketView) MarketChurning(market string, r cloud.Region) bool {
+	if m := v.f.marketFor(market); m != nil {
+		return m.provider.Churning(r)
+	}
+	return false
+}
 
 // Run simulates the fleet: jobs arrive on the virtual clock, the
 // scheduler admits them against the shared capacity-constrained pool,
@@ -220,13 +331,32 @@ func (v poolView) NowHours() float64                         { return v.p.Now().
 // pure function of (cfg, seed): one kernel, one thread, no wall-clock
 // input.
 func Run(cfg Config, seed int64) (*Result, error) {
-	sched, lm, err := cfg.validate()
+	sched, plans, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
+	names := cfg.providerNames()
 	k := &sim.Kernel{}
-	provider := cloud.NewProviderWithLifetime(k, stats.NewRng(seed), lm)
-	provider.SetTransientCapacity(cfg.Capacity)
+	f := &fleetSim{cfg: cfg, k: k, sched: sched, seed: seed}
+	for i, plan := range plans {
+		// The first market draws from stats.NewRng(seed) directly — the
+		// exact stream the pre-market fleet used, so single-market runs
+		// stay byte-identical. Further markets get independent derived
+		// streams so adding a market never perturbs the first.
+		rng := stats.NewRng(seed)
+		if i > 0 {
+			rng = stats.NewRng(campaign.Derive(seed, uint64(i), "fleet/market/"+names[i]))
+		}
+		provider := cloud.NewProviderFor(k, rng, plan.spec, plan.lm)
+		if cfg.Capacity != nil {
+			// An explicit fleet capacity bounds every market's pool
+			// cell-for-cell (a nil one keeps each spec's own default,
+			// which NewProviderFor already installed).
+			provider.SetTransientCapacity(cfg.Capacity)
+		}
+		provider.SetCapacityFreedHook(func(cloud.PoolKey) { f.admit() })
+		f.markets = append(f.markets, fleetMarket{name: names[i], provider: provider})
+	}
 
 	wseed := cfg.WorkloadSeed
 	if wseed == 0 {
@@ -237,8 +367,6 @@ func Run(cfg Config, seed int64) (*Result, error) {
 		return nil, err
 	}
 
-	f := &fleetSim{cfg: cfg, k: k, provider: provider, sched: sched, seed: seed}
-	provider.SetCapacityFreedHook(func(cloud.PoolKey) { f.admit() })
 	horizon := sim.Time(cfg.HorizonHours * 3600)
 	for i := range specs {
 		job := &Job{Spec: specs[i], state: jobWaiting}
@@ -275,7 +403,7 @@ func (f *fleetSim) admit() {
 	f.admitting = true
 	defer func() { f.admitting = false }()
 	for len(f.queue) > 0 && f.err == nil {
-		idx, pl, ok := f.sched.Pick(f.queue, poolView{f.provider})
+		idx, pl, ok := f.sched.Pick(f.queue, marketView{f})
 		if !ok {
 			break
 		}
@@ -312,7 +440,7 @@ func (f *fleetSim) scheduleWake() {
 	if !ok {
 		return
 	}
-	hours, ok := w.NextWakeHours(f.queue, poolView{f.provider})
+	hours, ok := w.NextWakeHours(f.queue, marketView{f})
 	if !ok {
 		return
 	}
@@ -336,11 +464,17 @@ func (f *fleetSim) scheduleWake() {
 // start turns an admitted job into a managed session on the shared
 // provider.
 func (f *fleetSim) start(job *Job, pl Placement) {
+	mk := f.marketFor(pl.Market)
+	if mk == nil {
+		f.err = fmt.Errorf("fleet: scheduler %q placed %s in unknown market %q (markets: %v)",
+			f.sched.Name(), job.Spec.Label(), pl.Market, f.cfg.providerNames())
+		return
+	}
 	placements := make([]manager.Placement, job.Spec.Workers)
 	for i := range placements {
 		placements[i] = manager.Placement{GPU: pl.GPU, Region: pl.Region, Tier: pl.Tier}
 	}
-	sess, err := manager.NewSession(f.provider, manager.Config{
+	sess, err := manager.NewSession(mk.provider, manager.Config{
 		Model:              job.Spec.Model,
 		Workers:            placements,
 		TargetSteps:        job.Spec.Steps,
@@ -375,6 +509,7 @@ func (f *fleetSim) result() *Result {
 	horizon := f.cfg.HorizonHours
 	res := &Result{
 		Scheduler: f.cfg.schedulerName(),
+		Providers: f.cfg.providerNames(),
 		RevModel:  f.cfg.revModelName(),
 		Capacity:  f.cfg.Capacity.Canonical(),
 	}
@@ -430,36 +565,51 @@ func (f *fleetSim) result() *Result {
 	if len(f.jobs) > 0 {
 		res.MeanWaitHours = waitSum / float64(len(f.jobs))
 	}
-	res.TotalCostUSD = f.provider.TotalCost()
+	for _, m := range f.markets {
+		res.TotalCostUSD += m.provider.TotalCost()
+	}
 	res.PeakInUse = f.peakInUse()
 	return res
 }
 
-// peakInUse sweeps the instance record for each cell's maximum
-// concurrent transient occupancy, counting every server from
+// peakInUse sweeps each market's instance record for each cell's
+// maximum concurrent transient occupancy, counting every server from
 // acceptance to its terminal state (the span it holds a pool slot).
+// Single-market keys stay bare "region/GPU"; a multi-market fleet
+// prefixes them "market:region/GPU" since each market rations its own
+// pool.
 func (f *fleetSim) peakInUse() map[string]int {
 	type edge struct {
 		at    sim.Time
 		delta int
 	}
-	edges := make(map[cloud.PoolKey][]edge)
-	for _, in := range f.provider.Instances() {
-		if in.Tier != cloud.Transient || in.GPU == 0 {
-			continue
+	type cell struct {
+		market string
+		key    cloud.PoolKey
+	}
+	edges := make(map[cell][]edge)
+	for _, m := range f.markets {
+		market := ""
+		if len(f.markets) > 1 {
+			market = m.name
 		}
-		key := cloud.PoolKey{Region: in.Region, GPU: in.GPU}
-		end := f.k.Now()
-		if in.State().Done() {
-			end = in.EndedAt
+		for _, in := range m.provider.Instances() {
+			if in.Tier != cloud.Transient || in.GPU == 0 {
+				continue
+			}
+			c := cell{market: market, key: cloud.PoolKey{Region: in.Region, GPU: in.GPU}}
+			end := f.k.Now()
+			if in.State().Done() {
+				end = in.EndedAt
+			}
+			edges[c] = append(edges[c], edge{in.RequestedAt, +1}, edge{end, -1})
 		}
-		edges[key] = append(edges[key], edge{in.RequestedAt, +1}, edge{end, -1})
 	}
 	if len(edges) == 0 {
 		return nil
 	}
 	peaks := make(map[string]int, len(edges))
-	for key, es := range edges {
+	for c, es := range edges {
 		// Releases sort before acquisitions at equal times: the
 		// provider frees a revoked slot before the immediate
 		// replacement claims it within the same event.
@@ -476,7 +626,11 @@ func (f *fleetSim) peakInUse() map[string]int {
 				peak = cur
 			}
 		}
-		peaks[key.String()] = peak
+		name := c.key.String()
+		if c.market != "" {
+			name = c.market + ":" + name
+		}
+		peaks[name] = peak
 	}
 	return peaks
 }

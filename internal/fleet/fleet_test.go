@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -99,9 +100,18 @@ func TestSchedulerRegistry(t *testing.T) {
 	if _, err := LookupScheduler("round-robin-3000"); err == nil {
 		t.Fatal("unknown scheduler should not resolve")
 	}
-	if err := RegisterScheduler(fifoScheduler{}); err == nil {
-		t.Fatal("re-registering a builtin name must fail (first come wins)")
-	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("re-registering a builtin name must panic (first come wins)")
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, `"fifo"`) {
+				t.Fatalf("duplicate-registration panic %q does not name the offender", msg)
+			}
+		}()
+		RegisterScheduler(fifoScheduler{})
+	}()
 }
 
 func TestRunIsDeterministic(t *testing.T) {
@@ -192,6 +202,8 @@ type fakePool struct {
 	avail map[cloud.PoolKey]int
 	now   float64
 }
+
+func (f fakePool) Offers(r cloud.Region, g model.GPU) bool { return cloud.Offered(r, g) }
 
 func (f fakePool) Available(r cloud.Region, g model.GPU) int {
 	if n, ok := f.avail[cloud.PoolKey{Region: r, GPU: g}]; ok {
@@ -291,6 +303,26 @@ func TestConfigKeyCanonicalizesDefaults(t *testing.T) {
 	}
 	if !strings.HasPrefix(explicit.Key(), "fleet|") {
 		t.Fatalf("fleet keys must carry the fleet| namespace prefix, got %q", explicit.Key())
+	}
+
+	// The provider axis canonicalizes like every other default: an
+	// implicit market list and the explicit default market share one
+	// cache line, and a multi-market fleet occupies another.
+	oneMarket := implicit
+	oneMarket.Providers = []string{cloud.DefaultProviderName}
+	if oneMarket.Key() != implicit.Key() {
+		t.Fatalf("explicit default market key %q != implicit key %q", oneMarket.Key(), implicit.Key())
+	}
+	if !strings.Contains(implicit.Key(), "|prov="+cloud.DefaultProviderName+"|") {
+		t.Fatalf("fleet key does not embed the provider axis: %q", implicit.Key())
+	}
+	multi := implicit
+	multi.Providers = []string{"gce", "aws"}
+	if multi.Key() == implicit.Key() {
+		t.Fatal("multi-market fleet shares the single-market key")
+	}
+	if !strings.Contains(multi.Key(), "prov=gce+aws") {
+		t.Fatalf("multi-market key does not list its markets in order: %q", multi.Key())
 	}
 
 	// Capacity renders canonically regardless of map insertion order.

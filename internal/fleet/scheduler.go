@@ -16,20 +16,53 @@ type Placement struct {
 	Region cloud.Region
 	GPU    model.GPU
 	Tier   cloud.Tier
+	// Market names the provider the job runs in (a MarketView market
+	// name). Empty means the fleet's first (default) market, so
+	// single-market schedulers never need to set it and single-market
+	// results render exactly as before the provider axis existed.
+	Market string
 }
 
 // Label renders the placement for job results.
 func (p Placement) Label() string {
+	if p.Market != "" {
+		return fmt.Sprintf("%s:%s/%s %s", p.Market, p.Region, p.GPU, p.Tier)
+	}
 	return fmt.Sprintf("%s/%s %s", p.Region, p.GPU, p.Tier)
 }
 
-// PoolView is the scheduler's read-only window onto the shared pool.
+// PoolView is the scheduler's read-only window onto the shared pool —
+// the fleet's first market, for schedulers that think in one market.
 type PoolView interface {
+	// Offers reports whether the pool's market sells the GPU in the
+	// region; schedulers must not place jobs in unoffered cells.
+	Offers(r cloud.Region, g model.GPU) bool
 	// Available returns how many transient servers the (region, GPU)
 	// cell can still accept, or -1 when the cell is unconstrained.
 	Available(r cloud.Region, g model.GPU) int
 	// NowHours is the current virtual time.
 	NowHours() float64
+}
+
+// MarketView extends PoolView across every market of a cross-provider
+// fleet: per-market quotes (catalog, prices via the spec), remaining
+// capacity, and the churn signal. The fleet simulator always hands
+// schedulers a MarketView; the embedded PoolView methods read the
+// first market, so single-market policies work unchanged.
+type MarketView interface {
+	PoolView
+	// Markets lists the fleet's markets in configuration order; the
+	// first is the default market unqualified placements run in.
+	Markets() []string
+	// MarketSpec returns the named market's registered spec (catalog
+	// and price book); nil for unknown names.
+	MarketSpec(market string) *cloud.ProviderSpec
+	// MarketAvailable is Available against the named market.
+	MarketAvailable(market string, r cloud.Region, g model.GPU) int
+	// MarketChurning reports whether the named market's region saw a
+	// revocation within the churn window (Fig. 7's regime) — the calm
+	// signal cross-market policies trade on.
+	MarketChurning(market string, r cloud.Region) bool
 }
 
 // Scheduler decides admission: which waiting job starts next, and
@@ -76,30 +109,30 @@ func init() {
 		fifoScheduler{},
 		costGreedyScheduler{},
 		deadlineAwareScheduler{},
+		arbitrageScheduler{},
 	} {
-		if err := RegisterScheduler(s); err != nil {
-			panic(err)
-		}
+		RegisterScheduler(s)
 	}
 }
 
 // RegisterScheduler adds a policy to the registry. Names are
-// first-come-first-served: registering a name twice is an error, so a
-// custom policy can never silently shadow a builtin (fleet keys embed
-// the name, and the planner cache depends on a name meaning one policy
+// first-come-first-served and conflicts are programmer errors, so a
+// duplicate (or empty) name panics with the offending name rather
+// than returning an error a startup path could ignore: a custom
+// policy must never silently shadow a builtin (fleet keys embed the
+// name, and the planner cache depends on a name meaning one policy
 // for the life of the process).
-func RegisterScheduler(s Scheduler) error {
+func RegisterScheduler(s Scheduler) {
 	name := s.Name()
 	if name == "" {
-		return fmt.Errorf("fleet: scheduler has an empty name")
+		panic("fleet: scheduler has an empty name")
 	}
 	schedulerMu.Lock()
 	defer schedulerMu.Unlock()
 	if _, dup := schedulerRegistry[name]; dup {
-		return fmt.Errorf("fleet: scheduler %q already registered", name)
+		panic(fmt.Sprintf("fleet: scheduler %q already registered", name))
 	}
 	schedulerRegistry[name] = s
-	return nil
 }
 
 // LookupScheduler resolves a policy name; the empty string means the
@@ -134,7 +167,7 @@ func SchedulerNames() []string {
 
 // fits reports whether the cell can hold the job's whole cluster.
 func fits(pool PoolView, r cloud.Region, g model.GPU, workers int) bool {
-	if !cloud.Offered(r, g) {
+	if !pool.Offers(r, g) {
 		return false
 	}
 	free := pool.Available(r, g)

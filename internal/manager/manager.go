@@ -75,8 +75,10 @@ type Config struct {
 	Seed int64
 }
 
-// validate rejects impossible configurations and fills defaults.
-func (c *Config) validate() error {
+// validate rejects impossible configurations and fills defaults. The
+// catalog check runs against the provider the session will launch on,
+// since each market offers its own cells.
+func (c *Config) validate(spec *cloud.ProviderSpec) error {
 	if len(c.Workers) == 0 {
 		return fmt.Errorf("manager: no workers")
 	}
@@ -84,7 +86,7 @@ func (c *Config) validate() error {
 		if !w.GPU.Valid() {
 			return fmt.Errorf("manager: worker %d invalid GPU", i)
 		}
-		if !cloud.Offered(w.Region, w.GPU) {
+		if !spec.Offers(w.Region, w.GPU) {
 			return fmt.Errorf("manager: worker %d: %v not offered in %v", i, w.GPU, w.Region)
 		}
 	}
@@ -141,7 +143,7 @@ type Session struct {
 // kernel to make progress; the session starts training once the
 // parameter servers and the first worker are up.
 func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.validate(p.Spec()); err != nil {
 		return nil, err
 	}
 	cluster, err := train.NewCluster(p.Kernel(), train.Config{

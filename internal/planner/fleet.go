@@ -35,8 +35,12 @@ type FleetQuery struct {
 	// "us-west1/V100": 4). Empty means an infinite pool.
 	Capacity map[string]int `json:"capacity,omitempty"`
 	// RevModel selects the revocation regime (catalog name; empty:
-	// default).
+	// each provider's own default).
 	RevModel string `json:"rev_model,omitempty"`
+	// Providers lists the markets the fleet schedules across (catalog
+	// provider names). Empty means the default single market; the
+	// cross-provider "arbitrage" scheduler wants two or more.
+	Providers []string `json:"providers,omitempty"`
 	// HorizonHours bounds the run (0: a week).
 	HorizonHours float64 `json:"horizon_hours,omitempty"`
 	// WorkloadSeed seeds job generation independently of Seed (0:
@@ -76,6 +80,7 @@ func (q FleetQuery) config() (fleet.Config, error) {
 		},
 		Scheduler:    q.Scheduler,
 		RevModel:     q.RevModel,
+		Providers:    q.Providers,
 		Capacity:     capacity,
 		HorizonHours: q.HorizonHours,
 		WorkloadSeed: q.WorkloadSeed,
@@ -107,20 +112,21 @@ type FleetItem struct {
 
 // FleetSummary is the aggregate trailer of a fleet response.
 type FleetSummary struct {
-	Scheduler      string  `json:"scheduler"`
-	RevModel       string  `json:"rev_model"`
-	Capacity       string  `json:"capacity"`
-	Key            string  `json:"key"`
-	Seed           int64   `json:"seed"`
-	Jobs           int     `json:"jobs"`
-	Completed      int     `json:"completed"`
-	DeadlineMisses int     `json:"deadline_misses"`
-	OverBudgetJobs int     `json:"over_budget_jobs"`
-	MakespanHours  float64 `json:"makespan_hours"`
-	MeanWaitHours  float64 `json:"mean_wait_hours"`
-	TotalCostUSD   float64 `json:"total_cost_usd"`
-	Revocations    int     `json:"revocations"`
-	Cached         bool    `json:"cached"`
+	Scheduler      string   `json:"scheduler"`
+	Providers      []string `json:"providers"`
+	RevModel       string   `json:"rev_model"`
+	Capacity       string   `json:"capacity"`
+	Key            string   `json:"key"`
+	Seed           int64    `json:"seed"`
+	Jobs           int      `json:"jobs"`
+	Completed      int      `json:"completed"`
+	DeadlineMisses int      `json:"deadline_misses"`
+	OverBudgetJobs int      `json:"over_budget_jobs"`
+	MakespanHours  float64  `json:"makespan_hours"`
+	MeanWaitHours  float64  `json:"mean_wait_hours"`
+	TotalCostUSD   float64  `json:"total_cost_usd"`
+	Revocations    int      `json:"revocations"`
+	Cached         bool     `json:"cached"`
 }
 
 // Fleet answers a fleet query (cached, coalesced) and emits the
@@ -147,6 +153,7 @@ func (p *Planner) Fleet(ctx context.Context, q FleetQuery, emit func(FleetItem) 
 	}
 	return emit(FleetItem{Summary: &FleetSummary{
 		Scheduler:      res.Scheduler,
+		Providers:      res.Providers,
 		RevModel:       res.RevModel,
 		Capacity:       res.Capacity,
 		Key:            cfg.Key(),

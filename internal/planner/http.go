@@ -142,6 +142,9 @@ type Catalog struct {
 	// rev_models fields accept: the builtins plus any trace-replay
 	// models registered at daemon startup (pland -trace).
 	LifetimeModels []string `json:"lifetime_models"`
+	// Providers are the provider worlds a query's provider / providers
+	// fields accept (catalog, price book, startup model, climate).
+	Providers []string `json:"providers"`
 	// Schedulers are the fleet admission policies /v1/fleet accepts.
 	Schedulers  []string `json:"schedulers"`
 	Experiments []string `json:"experiments"`
@@ -151,6 +154,7 @@ func catalog() Catalog {
 	c := Catalog{
 		Experiments:    experiments.IDs(),
 		LifetimeModels: cloud.LifetimeModelNames(),
+		Providers:      cloud.ProviderNames(),
 		Schedulers:     fleet.SchedulerNames(),
 	}
 	for _, m := range model.Zoo() {

@@ -266,8 +266,12 @@ type ScenarioQuery struct {
 	// RevModel selects the revocation/lifetime regime the simulated
 	// cloud applies to transient servers — a name from the catalog's
 	// lifetime_models list (builtins plus any -trace registrations).
-	// Empty means the default Table V calibration.
+	// Empty means the provider's default regime (Table V for gce).
 	RevModel string `json:"rev_model,omitempty"`
+	// Provider selects the provider world (catalog, price book,
+	// startup, climate) — a name from the catalog's providers list.
+	// Empty means the default (gce).
+	Provider string `json:"provider,omitempty"`
 	// TargetSteps is the total training target Nw (required).
 	TargetSteps int64 `json:"target_steps"`
 	// CheckpointInterval is Ic in steps (0: 1000).
@@ -292,11 +296,17 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	if !cloud.Offered(r, g) {
-		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s", g, r)
-	}
-	if _, err := cloud.LookupLifetimeModel(q.RevModel); err != nil {
+	spec, err := cloud.LookupProvider(q.Provider)
+	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
+	}
+	if !spec.Offers(r, g) {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s by provider %s", g, r, spec.Name)
+	}
+	if q.RevModel != "" {
+		if _, err := cloud.LookupLifetimeModel(q.RevModel); err != nil {
+			return experiments.Scenario{}, 0, 0, err
+		}
 	}
 	if q.Workers <= 0 {
 		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers must be positive")
@@ -311,7 +321,7 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, RevModel: q.RevModel, Workers: q.Workers}
+	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, RevModel: q.RevModel, Provider: q.Provider, Workers: q.Workers}
 	return sc, q.TargetSteps, ic, nil
 }
 
@@ -360,6 +370,9 @@ type GridQuery struct {
 	Regions   []string `json:"regions,omitempty"`
 	Tiers     []string `json:"tiers,omitempty"`
 	RevModels []string `json:"rev_models,omitempty"`
+	// Providers lists provider worlds to sweep; empty means the
+	// default (gce) only, like RevModels.
+	Providers []string `json:"providers,omitempty"`
 }
 
 func (q GridQuery) spec() (experiments.SweepSpec, error) {
@@ -419,6 +432,14 @@ func (q GridQuery) spec() (experiments.SweepSpec, error) {
 			}
 		}
 		spec.RevModels = q.RevModels
+	}
+	if len(q.Providers) > 0 {
+		for _, name := range q.Providers {
+			if _, err := cloud.LookupProvider(name); err != nil {
+				return experiments.SweepSpec{}, err
+			}
+		}
+		spec.Providers = q.Providers
 	}
 	return spec, nil
 }

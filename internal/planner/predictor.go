@@ -134,6 +134,15 @@ func (p *Planner) Estimate(ctx context.Context, q ScenarioQuery) (EstimateResult
 	if err != nil {
 		return EstimateResult{}, &BadRequestError{err}
 	}
+	if sc.ProviderName() != cloud.DefaultProviderName {
+		// The Eq. 4/5 fit is calibrated against the default provider's
+		// price book, startup times, and hazard; answering for another
+		// world would silently use the wrong numbers. Measured queries
+		// (/v1/measure, /v1/sweep, /v1/cheapest) support every provider.
+		return EstimateResult{}, &BadRequestError{fmt.Errorf(
+			"planner: analytic estimates support only the default provider %q; measure provider %q instead",
+			cloud.DefaultProviderName, sc.Provider)}
+	}
 	if sc.RevModelName() != cloud.DefaultLifetimeModelName {
 		// The Eq. 5 revocation estimator is fit from lifetime campaigns
 		// run under the default calibration; answering for another

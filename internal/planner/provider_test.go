@@ -1,0 +1,161 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// TestProviderSplitsCacheLines is the acceptance property of the
+// provider axis: the same scenario measured on two markets must occupy
+// two cache lines, while the implicit default and the explicitly-named
+// default market share one.
+func TestProviderSplitsCacheLines(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4, CacheSize: 16})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	q := testQuery(13)
+	ask := func(provider string) Outcome {
+		t.Helper()
+		q := q
+		q.Provider = provider
+		out, err := p.Measure(context.Background(), q)
+		if err != nil {
+			t.Fatalf("provider=%q: %v", provider, err)
+		}
+		return out
+	}
+
+	def := ask("")
+	aws := ask("aws")
+	if def.Key == aws.Key {
+		t.Fatalf("default and aws share the key %q", def.Key)
+	}
+	if !strings.Contains(def.Key, "prov="+cloud.DefaultProviderName) ||
+		!strings.Contains(aws.Key, "prov=aws") {
+		t.Fatalf("keys do not embed the market: %q / %q", def.Key, aws.Key)
+	}
+	st := p.Stats()
+	if sims.Load() != 2 || st.Misses != 2 || st.CacheEntries != 2 {
+		t.Fatalf("two markets ⇒ two simulations and two cache lines; got sims=%d stats=%+v", sims.Load(), st)
+	}
+
+	// The explicitly-named default market is the same measurement as
+	// the implicit one: a cache hit, not a third line.
+	exp := ask(cloud.DefaultProviderName)
+	if !exp.Cached || exp.Key != def.Key {
+		t.Fatalf("explicit default market was not served from the implicit default's line: %+v", exp)
+	}
+	if st := p.Stats(); st.CacheEntries != 2 || sims.Load() != 2 {
+		t.Fatalf("explicit default market created extra work: sims=%d stats=%+v", sims.Load(), st)
+	}
+}
+
+// TestProviderValidation maps provider mistakes to BadRequestError:
+// unknown markets, catalog holes (the serverless market sells no
+// V100s), bad grid axes, and — mirroring the rev-model limitation —
+// analytic estimates on any non-default market.
+func TestProviderValidation(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 4})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	q := testQuery(1)
+	q.Provider = "no-such-market"
+	var bad *BadRequestError
+	if _, err := p.Measure(context.Background(), q); !errors.As(err, &bad) {
+		t.Errorf("unknown provider: got %v, want BadRequestError", err)
+	}
+
+	// A cell the chosen market does not sell is rejected up front.
+	vq := testQuery(1)
+	vq.GPU, vq.Provider = "V100", "serverless-cpu"
+	if _, err := p.Measure(context.Background(), vq); !errors.As(err, &bad) ||
+		!strings.Contains(err.Error(), "serverless-cpu") {
+		t.Errorf("off-catalog cell: got %v, want a BadRequestError naming the market", err)
+	}
+
+	// Grid queries validate every listed market before dispatch.
+	sq := SweepQuery{GridQuery: GridQuery{Providers: []string{"gce", "bogus"}}}
+	if _, err := sq.Spec(); err == nil {
+		t.Error("sweep accepted an unknown provider")
+	}
+
+	// Analytic estimates only speak the default market's calibration.
+	eq := testQuery(1)
+	eq.Provider = "aws"
+	if _, err := p.Estimate(context.Background(), eq); !errors.As(err, &bad) ||
+		!strings.Contains(err.Error(), cloud.DefaultProviderName) {
+		t.Errorf("estimate on a non-default market: got %v, want a BadRequestError naming the default market", err)
+	}
+	if sims.Load() != 0 {
+		t.Fatalf("validation paths ran %d simulations, want 0", sims.Load())
+	}
+}
+
+// TestSweepProvidersAxis sweeps one cell across two markets: the grid
+// doubles, every cell simulates once, and a repeat is all hits.
+func TestSweepProvidersAxis(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4, CacheSize: 32})
+	defer p.Close()
+	var sims atomic.Int64
+	p.measure = fakeMeasure(&sims)
+
+	sq := SweepQuery{GridQuery: GridQuery{
+		Model: "ResNet-15", Sizes: []int{1}, GPUs: []string{"K80"},
+		Regions: []string{"us-central1"}, Tiers: []string{"transient"},
+		Providers: []string{"gce", "aws"},
+	}}
+	spec, err := sq.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int {
+		n := 0
+		if err := p.Sweep(context.Background(), spec, 4, func(it SweepItem) error {
+			if it.Err != "" {
+				t.Fatalf("item %d: %s", it.Index, it.Err)
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := run(); n != 2 {
+		t.Fatalf("sweep emitted %d items, want 2 (one per market)", n)
+	}
+	if sims.Load() != 2 {
+		t.Fatalf("%d simulations, want 2", sims.Load())
+	}
+	run()
+	if sims.Load() != 2 {
+		t.Fatalf("repeat sweep re-simulated (%d total)", sims.Load())
+	}
+}
+
+func TestCatalogListsProviders(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 2, CacheSize: 4})
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := decodeBody[Catalog](t, resp)
+	if len(cat.Providers) != 3 || cat.Providers[0] != cloud.DefaultProviderName {
+		t.Fatalf("catalog providers = %v, want default first with 3 builtins", cat.Providers)
+	}
+}
