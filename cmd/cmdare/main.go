@@ -81,6 +81,12 @@ func run() int {
 		return 2
 	}
 
+	if *psCount == 0 {
+		// The manager runs at least one parameter server; the estimate
+		// must price the cluster the session actually gets.
+		*psCount = 1
+	}
+
 	fmt.Printf("training %s on %d × transient %v in %v (%d PS, Nw=%d, Ic=%d, replace=%v)\n",
 		m.Name, *workers, gpu, region, *psCount, *steps, *ckptEvery, repl)
 

@@ -13,13 +13,16 @@
 //	repro -exp all [-seed 42] [-parallel 8]
 //	repro -exp revmodels   # extras run individually, outside "all"
 //	repro -exp fleet       # multi-job scheduler comparison (extra)
+//	repro -exp regret      # schedulers vs clairvoyant oracle (extra)
 //
 // "all" runs exactly the paper's artifact set (the stream the golden
 // snapshot pins); extra experiments — revmodels, the revocation-model
-// comparison over the pluggable lifetime regimes, and fleet, the
+// comparison over the pluggable lifetime regimes; fleet, the
 // multi-job scheduler comparison on a capacity-constrained transient
-// pool (its own golden, testdata/fleet.golden) — are listed by -list
-// and run by id.
+// pool; providers, single-market fleets vs cross-market arbitrage;
+// and regret, every scheduler scored against a clairvoyant per-job
+// oracle — are listed by -list and run by id, each golden-pinned
+// extra under its own testdata snapshot.
 package main
 
 import (

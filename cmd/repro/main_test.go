@@ -129,6 +129,50 @@ func TestReproProvidersMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestReproRegretMatchesGolden pins the scheduler-regret comparison:
+// `repro -exp regret` (seed 42) must match its committed snapshot byte
+// for byte — and byte-identically at -parallel 1 and 8, since the
+// predictive scheduler's history-fed fits are the newest place a
+// worker-count dependence could sneak in. Like the other extras it
+// lives outside "all", so it gets its own golden; CI cross-checks it
+// against live output.
+func TestReproRegretMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full regret campaign in -short mode")
+	}
+	r, ok := experiments.ByID("regret")
+	if !ok {
+		t.Fatal("regret experiment not registered")
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		if _, err := writeExperiments(&buf, []experiments.Runner{r}, 42, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := render(1)
+	if wide := render(8); !bytes.Equal(got, wide) {
+		t.Fatalf("-parallel 8 changed regret output:\n%s", firstDivergence(wide, got))
+	}
+	golden := filepath.Join("testdata", "regret.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (generate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("repro -exp regret drifted from the committed snapshot:\n%s\nif the change is intentional, regenerate with -update and review the diff",
+			firstDivergence(got, want))
+	}
+}
+
 // firstDivergence renders the first line where got and want differ,
 // with a little context, so a drifted digit is findable without
 // eyeballing ~20 artifacts.

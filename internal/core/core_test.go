@@ -234,6 +234,7 @@ func TestEstimateDecomposition(t *testing.T) {
 			{GPU: model.K80, Region: "us-central1", Transient: true},
 			{GPU: model.K80, Region: "us-central1", Transient: true},
 		},
+		ParameterServers:   1,
 		TargetSteps:        64000,
 		CheckpointInterval: 4000,
 	}
@@ -351,5 +352,35 @@ func TestDetectorErrors(t *testing.T) {
 	short := []profile.SpeedSample{{Time: 0, Speed: 5}}
 	if _, err := d.Check(10, short); err == nil {
 		t.Error("all-warm-up series should error")
+	}
+}
+
+// TestCostBillsExactParameterServerCount pins the PS-billing contract
+// on both sides: a plan's cost scales with its declared parameter
+// server count, and zero means zero — a deliberately PS-less plan
+// bills only its workers, so two distinct plans no longer price
+// identically. (Callers estimating a managed session pass the
+// session's real count; the manager's own default of one lives in the
+// manager, not here.)
+func TestCostBillsExactParameterServerCount(t *testing.T) {
+	p := &Predictor{}
+	plan := Plan{
+		Model:       model.ResNet32(),
+		Workers:     []Placement{{GPU: model.K80, Region: "us-central1", Transient: true}},
+		TargetSteps: 1000,
+	}
+	const seconds = 3600.0
+	workersOnly := model.HourlyPrice(model.K80, true)
+	if got := p.cost(plan, seconds); math.Abs(got-workersOnly) > 1e-12 {
+		t.Fatalf("PS-less plan billed $%.4f/h, want workers-only $%.4f/h", got, workersOnly)
+	}
+	plan.ParameterServers = 1
+	withOne := p.cost(plan, seconds)
+	if math.Abs(withOne-(workersOnly+model.ParameterServerHourly)) > 1e-12 {
+		t.Fatalf("1-PS plan billed $%.4f/h, want $%.4f/h", withOne, workersOnly+model.ParameterServerHourly)
+	}
+	plan.ParameterServers = 3
+	if got := p.cost(plan, seconds); math.Abs(got-(workersOnly+3*model.ParameterServerHourly)) > 1e-12 {
+		t.Fatalf("3-PS plan billed $%.4f/h, want $%.4f/h", got, workersOnly+3*model.ParameterServerHourly)
 	}
 }

@@ -23,7 +23,10 @@ type Plan struct {
 	Workers []Placement
 	// ParameterServers counts PS shards (pricing only; the speed
 	// model assumes the pre-bottleneck regime — pair the estimate
-	// with the Detector to validate that assumption online).
+	// with the Detector to validate that assumption online). Zero
+	// means zero: a deliberately PS-less plan bills no parameter
+	// server. Callers estimating a managed session should pass the
+	// session's real count (manager defaults to one).
 	ParameterServers int
 	// TargetSteps is Nw; CheckpointInterval is Ic (steps).
 	TargetSteps        int64
@@ -125,10 +128,6 @@ func (p *Predictor) cost(plan Plan, seconds float64) float64 {
 	for _, w := range plan.Workers {
 		hourly += model.HourlyPrice(w.GPU, w.Transient)
 	}
-	ps := plan.ParameterServers
-	if ps == 0 {
-		ps = 1
-	}
-	hourly += float64(ps) * model.ParameterServerHourly
+	hourly += float64(plan.ParameterServers) * model.ParameterServerHourly
 	return hourly * hours
 }

@@ -132,6 +132,10 @@ func planEndToEnd(seed int64) *campaign.Plan {
 				{GPU: model.K80, Region: region.String(), Transient: true},
 				{GPU: model.K80, Region: region.String(), Transient: true},
 			},
+			// The validation sessions run the manager's default single
+			// parameter server; the prediction must price the same
+			// cluster.
+			ParameterServers:   1,
 			TargetSteps:        nw,
 			CheckpointInterval: ic,
 		}

@@ -84,6 +84,7 @@ func Extras() []Runner {
 		{ID: "revmodels", Title: "Revocation-model comparison: cost/time under each lifetime regime (same grid)", Plan: planRevModels},
 		{ID: "fleet", Title: "Fleet scheduler comparison: multi-job contention on a capacity-constrained transient pool", Plan: planFleet},
 		{ID: "providers", Title: "Cross-provider arbitrage: single-market fleets vs. scheduling across gce+aws+serverless markets", Plan: planProviders},
+		{ID: "regret", Title: "Scheduler regret: every policy scored against a clairvoyant per-job oracle across contention regimes", Plan: planRegret},
 	}
 }
 

@@ -43,6 +43,13 @@ func (v singleMarketView) MarketAvailable(market string, r cloud.Region, g model
 }
 func (v singleMarketView) MarketChurning(market string, r cloud.Region) bool { return false }
 
+// Observed returns an empty history: a bare PoolView has no
+// measurement record, so history-aware policies fall back to their
+// analytic estimates. Fresh per call — callers may not mutate it, but
+// sharing one across goroutines would still trip the race detector's
+// view of the fleet contract.
+func (v singleMarketView) Observed() *History { return &History{} }
+
 // marketsOf widens any pool to a MarketView.
 func marketsOf(pool PoolView) MarketView {
 	if mv, ok := pool.(MarketView); ok {

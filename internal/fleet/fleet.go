@@ -259,6 +259,12 @@ type fleetSim struct {
 	jobs  []*Job
 	queue []*Job
 
+	// history accumulates the run's own observations (completed-job
+	// rates, startups, revocations) for history-aware schedulers; the
+	// kernel appends passively in event order, so it never perturbs
+	// the rng streams and history-blind policies stay byte-identical.
+	history *History
+
 	// wake is the pending time-driven admission re-check, for
 	// schedulers implementing Waker; at most one is scheduled at a
 	// time (the earliest requested).
@@ -322,6 +328,7 @@ func (v marketView) MarketChurning(market string, r cloud.Region) bool {
 	}
 	return false
 }
+func (v marketView) Observed() *History { return v.f.history }
 
 // Run simulates the fleet: jobs arrive on the virtual clock, the
 // scheduler admits them against the shared capacity-constrained pool,
@@ -337,7 +344,7 @@ func Run(cfg Config, seed int64) (*Result, error) {
 	}
 	names := cfg.providerNames()
 	k := &sim.Kernel{}
-	f := &fleetSim{cfg: cfg, k: k, sched: sched, seed: seed}
+	f := &fleetSim{cfg: cfg, k: k, sched: sched, seed: seed, history: &History{}}
 	for i, plan := range plans {
 		// The first market draws from stats.NewRng(seed) directly — the
 		// exact stream the pre-market fleet used, so single-market runs
@@ -501,7 +508,47 @@ func (f *fleetSim) start(job *Job, pl Placement) {
 func (f *fleetSim) finish(job *Job) {
 	job.state = jobFinished
 	job.endedAt = f.k.Now()
+	f.observe(job)
 	f.admit()
+}
+
+// observe folds a finished job into the run's history: the realized
+// per-job training rate plus per-instance startup and lifetime
+// samples swept from the session's record. The manager's own
+// WhenStep(TargetSteps) registers first, so by the time this fires
+// every owned instance is terminal and the samples are final.
+func (f *fleetSim) observe(job *Job) {
+	mk := f.marketFor(job.placement.Market)
+	if mk == nil || job.sess == nil {
+		return
+	}
+	f.history.recordCompleted(CompletedJob{
+		Market:     mk.name,
+		GPU:        job.placement.GPU,
+		Tier:       job.placement.Tier,
+		GFLOPs:     job.Spec.Model.GFLOPs,
+		Workers:    job.Spec.Workers,
+		Steps:      job.Spec.Steps,
+		TrainHours: job.sess.TrainingSeconds() / 3600,
+	})
+	for _, in := range job.sess.Instances() {
+		if in.GPU == 0 {
+			continue // parameter servers carry no GPU-market signal
+		}
+		if in.RunningAt > in.RequestedAt {
+			f.history.recordStartup(StartupSample{
+				Market:  mk.name,
+				Region:  in.Region,
+				GPU:     in.GPU,
+				Tier:    in.Tier,
+				Seconds: float64(in.RunningAt - in.RequestedAt),
+			})
+		}
+		if in.Tier == cloud.Transient {
+			f.history.recordExposure(mk.name, in.Region, in.GPU,
+				in.LifetimeSeconds(f.k.Now())/3600, in.WasRevoked())
+		}
+	}
 }
 
 // result assembles per-job outcomes and aggregates.

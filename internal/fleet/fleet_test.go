@@ -358,3 +358,64 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 		}
 	}
 }
+
+// narrowPool is a fakePool whose catalog can exclude a GPU class from
+// every region — the shape serverless-style markets present to
+// single-market schedulers.
+type narrowPool struct {
+	fakePool
+	offered map[model.GPU]bool
+}
+
+func (n narrowPool) Offers(r cloud.Region, g model.GPU) bool {
+	return n.offered[g] && cloud.Offered(r, g)
+}
+
+// TestDeadlineWakeSkipsUnplaceableJobs is the regression test for the
+// wake-up/fallback mismatch: NextWakeHours used to return wake times
+// for jobs whose requested GPU class is offered in no region, even
+// though Pick's on-demand fallback skips exactly those jobs — the
+// fleet would arm a re-check that provably changes nothing.
+func TestDeadlineWakeSkipsUnplaceableJobs(t *testing.T) {
+	s, err := LookupScheduler("deadline-aware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := s.(Waker)
+	if !ok {
+		t.Fatal("deadline-aware no longer implements Waker")
+	}
+	mkJob := func(id int, g model.GPU) *Job {
+		job := &Job{Spec: JobSpec{ID: id, Model: model.ResNet15(), GPU: g, Workers: 1, Steps: 34000}}
+		job.Spec.DeadlineHours = job.Spec.OptimisticHours(g) * 3
+		return job
+	}
+	// A market that sells K80s but no V100s anywhere, with no transient
+	// room in any cell.
+	pool := narrowPool{offered: map[model.GPU]bool{model.K80: true}}
+
+	// A queue holding only the unplaceable job must arm no wake-up.
+	unplaceable := mkJob(0, model.V100)
+	if at, ok := w.NextWakeHours([]*Job{unplaceable}, pool); ok {
+		t.Fatalf("armed a wake-up at %gh for a job Pick can never place", at)
+	}
+
+	// Mixed queue: the wake time must be the placeable job's last
+	// responsible moment, not the unplaceable one's (which is earlier
+	// here because its deadline is tighter).
+	placeable := mkJob(1, model.K80)
+	tight := mkJob(2, model.V100)
+	tight.Spec.DeadlineHours = tight.Spec.OptimisticHours(model.V100) * 1.6
+	placeableAt := placeable.Spec.DeadlineAtHours() - placeable.Spec.OptimisticHours(model.K80)*onDemandSlackFactor
+	tightAt := tight.Spec.DeadlineAtHours() - tight.Spec.OptimisticHours(model.V100)*onDemandSlackFactor
+	if tightAt >= placeableAt {
+		t.Fatalf("test lost its teeth: unplaceable moment %gh is not ahead of placeable %gh", tightAt, placeableAt)
+	}
+	at, ok := w.NextWakeHours([]*Job{placeable, tight}, pool)
+	if !ok {
+		t.Fatal("no wake-up for a placeable job with a pending fallback")
+	}
+	if at != placeableAt {
+		t.Fatalf("wake at %gh, want the placeable job's moment %gh", at, placeableAt)
+	}
+}

@@ -63,6 +63,11 @@ type MarketView interface {
 	// revocation within the churn window (Fig. 7's regime) — the calm
 	// signal cross-market policies trade on.
 	MarketChurning(market string, r cloud.Region) bool
+	// Observed is the run's own measurement history — completed-job
+	// step rates, startup times, revocation exposure — accumulated by
+	// the fleet kernel in event order. History-aware policies fit
+	// their models from it; it is never nil.
+	Observed() *History
 }
 
 // Scheduler decides admission: which waiting job starts next, and
@@ -110,6 +115,7 @@ func init() {
 		costGreedyScheduler{},
 		deadlineAwareScheduler{},
 		arbitrageScheduler{},
+		predictiveScheduler{},
 	} {
 		RegisterScheduler(s)
 	}
@@ -312,6 +318,12 @@ func (deadlineAwareScheduler) NextWakeHours(queue []*Job, pool PoolView) (float6
 	best, found := 0.0, false
 	for _, job := range queue {
 		spec := job.Spec
+		if _, ok := firstRegionWithRoom(pool, spec.GPU, 0); !ok {
+			// Pick's on-demand fallback continues past jobs whose GPU
+			// class is offered in no region, so waking for one would
+			// provably change nothing.
+			continue
+		}
 		at := spec.DeadlineAtHours() - spec.OptimisticHours(spec.GPU)*onDemandSlackFactor
 		if at <= now {
 			continue // already actionable; Pick handles it this pass

@@ -214,6 +214,68 @@ func TestHTTPFleetConcurrentRequests(t *testing.T) {
 	}
 }
 
+// TestHTTPFleetPredictiveIsItsOwnCacheLine pins the newest policy's
+// cache identity end to end: every registered scheduler (predictive
+// included) occupies a distinct config key, /v1/catalog advertises it,
+// /v1/fleet accepts it, a repeat query is a cache hit, and a sibling
+// scheduler's query never shares its line.
+func TestHTTPFleetPredictiveIsItsOwnCacheLine(t *testing.T) {
+	// Key-level: the sched= axis separates every registered policy.
+	base := fleet.Config{Workload: fleet.WorkloadSpec{Jobs: 3, RatePerHour: 2, StepsPerWorker: 100}}
+	keys := map[string]string{}
+	for _, sched := range fleet.SchedulerNames() {
+		cfg := base
+		cfg.Scheduler = sched
+		if prev, dup := keys[cfg.Key()]; dup {
+			t.Fatalf("schedulers %q and %q share cache key %q", prev, sched, cfg.Key())
+		}
+		keys[cfg.Key()] = sched
+	}
+	pred := base
+	pred.Scheduler = "predictive"
+	if !strings.Contains(pred.Key(), "|sched=predictive|") {
+		t.Fatalf("predictive key does not embed its scheduler axis: %q", pred.Key())
+	}
+
+	p := New(Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	defer p.Close()
+	var runs atomic.Int64
+	p.runFleet = fakeFleet(&runs)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// The catalog must advertise the policy /v1/fleet accepts.
+	resp, err := http.Get(srv.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat Catalog
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	advertised := false
+	for _, s := range cat.Schedulers {
+		advertised = advertised || s == "predictive"
+	}
+	if !advertised {
+		t.Fatalf("catalog schedulers %v omit predictive", cat.Schedulers)
+	}
+
+	readFleetNDJSON(t, postJSON(t, srv.URL+"/v1/fleet", fleetQueryJSON("predictive", 4, 42)))
+	if runs.Load() != 1 {
+		t.Fatalf("first predictive query ran %d simulations, want 1", runs.Load())
+	}
+	_, again := readFleetNDJSON(t, postJSON(t, srv.URL+"/v1/fleet", fleetQueryJSON("predictive", 4, 42)))
+	if runs.Load() != 1 || !again.Cached {
+		t.Fatalf("repeat predictive query re-simulated (runs=%d, cached=%v)", runs.Load(), again.Cached)
+	}
+	readFleetNDJSON(t, postJSON(t, srv.URL+"/v1/fleet", fleetQueryJSON("deadline-aware", 4, 42)))
+	if runs.Load() != 2 {
+		t.Fatalf("sibling scheduler hit predictive's cache line (runs=%d)", runs.Load())
+	}
+}
+
 // TestHTTPFleetValidation maps bad queries to 400s before any
 // simulation is dispatched.
 func TestHTTPFleetValidation(t *testing.T) {

@@ -193,8 +193,11 @@ func (p *Planner) Estimate(ctx context.Context, q ScenarioQuery) (EstimateResult
 		ReplacementSeconds: train.ReplacementSeconds(sc.Model, true),
 	}
 	est, err := pred.Estimate(core.Plan{
-		Model:              sc.Model,
-		Workers:            workers,
+		Model:   sc.Model,
+		Workers: workers,
+		// Measured scenarios run one parameter server (the manager's
+		// default); the analytic estimate must price the same cluster.
+		ParameterServers:   1,
 		TargetSteps:        steps,
 		CheckpointInterval: ic,
 	})

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# Bench-regression guard: compare a fresh `go test -json` benchmark run
+# against the committed reference, per benchmark, on ns/op. A
+# -benchtime=1x run is noisy and CI machines differ, so the gate is
+# deliberately coarse: fail only when a benchmark comes in more than
+# TOLERANCE times slower than its reference. Benchmarks present in only
+# one of the two files are reported but never fail the gate.
+# Usage: check_bench.sh <reference.json> <fresh.json>
+set -eu
+
+tolerance=${BENCH_TOLERANCE:-3.0}
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <reference.json> <fresh.json>" >&2
+    exit 2
+fi
+ref=$1
+fresh=$2
+[ -f "$ref" ] || { echo "missing reference bench file: $ref" >&2; exit 2; }
+[ -f "$fresh" ] || { echo "missing fresh bench file: $fresh" >&2; exit 2; }
+
+tmp=${TMPDIR:-/tmp}/check_bench.$$
+trap 'rm -f "$tmp.ref" "$tmp.fresh"' EXIT
+
+# extract <name> <ns/op> pairs from a `go test -json` stream. The test
+# binary prints the benchmark name before running it, so the name and
+# the result usually arrive as two separate "Output" events (sometimes
+# one); pair the last pending name per package with the next ns/op
+# line. The -<procs> name suffix is stripped so runs from machines
+# with different GOMAXPROCS still line up.
+extract() {
+    awk '
+        !/"Action":"output"/ { next }
+        {
+            pkg = ""
+            if (match($0, /"Package":"[^"]*"/)) {
+                pkg = substr($0, RSTART + 11, RLENGTH - 12)
+            }
+            line = $0
+            sub(/.*"Output":"/, "", line)
+            if (line ~ /^Benchmark/) {
+                name = line
+                sub(/\\t.*/, "", name)
+                gsub(/[[:space:]]+$/, "", name)
+                sub(/-[0-9]+$/, "", name)
+                pending[pkg] = name
+            }
+            if (line ~ /ns\/op/ && pending[pkg] != "") {
+                if (match(line, /[0-9][0-9.]* ns\/op/)) {
+                    ns = substr(line, RSTART, RLENGTH)
+                    sub(/ ns\/op/, "", ns)
+                    print pending[pkg], ns
+                    pending[pkg] = ""
+                }
+            }
+        }
+    ' "$1"
+}
+
+extract "$ref" | sort >"$tmp.ref"
+extract "$fresh" | sort >"$tmp.fresh"
+
+awk -v tol="$tolerance" -v reffile="$tmp.ref" '
+    FILENAME == reffile { ref[$1] = $2 + 0; next }
+    {
+        seen[$1] = 1
+        if (!($1 in ref)) { printf "note: %s has no reference entry (new benchmark?)\n", $1; next }
+        if (ref[$1] <= 0) next
+        compared++
+        ratio = ($2 + 0) / ref[$1]
+        if (ratio > tol) {
+            printf "REGRESSION %s: %s ns/op vs reference %s (%.2fx > %.2fx)\n", $1, $2, ref[$1], ratio, tol
+            bad = 1
+        }
+    }
+    END {
+        for (b in ref) if (!(b in seen))
+            printf "note: %s missing from fresh run (renamed or dropped?)\n", b
+        if (compared == 0) { print "no benchmarks compared: malformed input?"; exit 2 }
+        if (bad) exit 1
+        printf "%d benchmarks within %.2fx of the committed reference\n", compared, tol
+    }
+' "$tmp.ref" "$tmp.fresh"
