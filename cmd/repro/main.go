@@ -14,15 +14,17 @@
 //	repro -exp revmodels   # extras run individually, outside "all"
 //	repro -exp fleet       # multi-job scheduler comparison (extra)
 //	repro -exp regret      # schedulers vs clairvoyant oracle (extra)
+//	repro -exp elastic     # elastic vs static mixed clusters (extra)
 //
 // "all" runs exactly the paper's artifact set (the stream the golden
 // snapshot pins); extra experiments — revmodels, the revocation-model
 // comparison over the pluggable lifetime regimes; fleet, the
 // multi-job scheduler comparison on a capacity-constrained transient
 // pool; providers, single-market fleets vs cross-market arbitrage;
-// and regret, every scheduler scored against a clairvoyant per-job
-// oracle — are listed by -list and run by id, each golden-pinned
-// extra under its own testdata snapshot.
+// regret, every scheduler scored against a clairvoyant per-job
+// oracle; and elastic, static vs risk-driven resizing of a mixed-GPU
+// cluster under each revocation regime — are listed by -list and run
+// by id, each golden-pinned extra under its own testdata snapshot.
 package main
 
 import (

@@ -173,6 +173,50 @@ func TestReproRegretMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestReproElasticMatchesGolden pins the elastic-cluster comparison:
+// `repro -exp elastic` (seed 42) must match its committed snapshot
+// byte for byte — and byte-identically at -parallel 1 and 8, since the
+// synchronous dynamic-batching kernel and the resize timers are the
+// newest places a worker-count dependence could sneak in. Like the
+// other extras it lives outside "all", so it gets its own golden; CI
+// cross-checks it against live output.
+func TestReproElasticMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full elastic campaign in -short mode")
+	}
+	r, ok := experiments.ByID("elastic")
+	if !ok {
+		t.Fatal("elastic experiment not registered")
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		if _, err := writeExperiments(&buf, []experiments.Runner{r}, 42, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := render(1)
+	if wide := render(8); !bytes.Equal(got, wide) {
+		t.Fatalf("-parallel 8 changed elastic output:\n%s", firstDivergence(wide, got))
+	}
+	golden := filepath.Join("testdata", "elastic.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (generate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("repro -exp elastic drifted from the committed snapshot:\n%s\nif the change is intentional, regenerate with -update and review the diff",
+			firstDivergence(got, want))
+	}
+}
+
 // firstDivergence renders the first line where got and want differ,
 // with a little context, so a drifted digit is findable without
 // eyeballing ~20 artifacts.

@@ -1,0 +1,49 @@
+package cloud
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// This file exposes the revocation calibration as a forward-looking
+// hazard signal, so schedulers outside the cloud package (the elastic
+// resize policies in internal/manager, the fleet's history-informed
+// risk) can anticipate Fig. 9's revocation waves instead of merely
+// reacting to them.
+
+// DiurnalRiskRatio returns the local-hour revocation hazard for the
+// cell, as a ratio to that cell's daily-mean hazard: 1.0 means an
+// average hour, >1 a revocation wave (K80's 10:00 surge peaks near 5),
+// <1 a quiet window (V100's 16:00–20:00 lull returns 0). The shape is
+// the Fig. 9 hourWeights calibration sampleLifetime thins deaths by,
+// so a policy watching this ratio sees the same waves the simulator
+// lands revocations on. Unoffered cells return 1 (no information).
+func DiurnalRiskRatio(r Region, g model.GPU, atHours float64) float64 {
+	if !Offered(r, g) {
+		return 1
+	}
+	weights := hourWeights[g]
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 {
+		return 1
+	}
+	return weights[r.LocalHour(atHours)] * 24 / sum
+}
+
+// ExpectedRevocationsPerHour is the cell's daily-mean revocation rate
+// per running server, derived from Table V's 24-hour revocation
+// fraction under the exponential-thinning view the simulator's
+// acceptance-rejection sampling approximates: rate = -ln(1-frac)/24.
+// Multiplying by DiurnalRiskRatio gives the instantaneous hazard.
+// Unoffered cells return 0.
+func ExpectedRevocationsPerHour(r Region, g model.GPU) float64 {
+	cfg := revocationConfigs[g][r]
+	if !cfg.offered || cfg.frac24h >= 1 {
+		return 0
+	}
+	return -math.Log(1-cfg.frac24h) / 24
+}

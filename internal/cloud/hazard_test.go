@@ -1,0 +1,58 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestDiurnalRiskRatioShape pins the hazard signal to Fig. 9: the mean
+// over a day is exactly 1, the K80 morning surge is the daily peak,
+// and the V100 evening lull carries zero hazard.
+func TestDiurnalRiskRatioShape(t *testing.T) {
+	for _, g := range model.AllGPUs() {
+		for _, r := range OfferedRegions(g) {
+			var sum float64
+			for h := 0; h < 24; h++ {
+				sum += DiurnalRiskRatio(r, g, float64(h))
+			}
+			if math.Abs(sum/24-1) > 1e-9 {
+				t.Fatalf("%s/%s: daily mean ratio = %v, want 1", r, g, sum/24)
+			}
+		}
+	}
+	// us-west1 is UTC-8: local hour 10 is simulation hour 18.
+	peak := DiurnalRiskRatio(USWest1, model.K80, 18)
+	for h := 0.0; h < 24; h++ {
+		if ratio := DiurnalRiskRatio(USWest1, model.K80, h); ratio > peak {
+			t.Fatalf("K80 hazard at sim hour %v (%.2f) above the 10:00 surge (%.2f)", h, ratio, peak)
+		}
+	}
+	if peak < 4 {
+		t.Fatalf("K80 10:00 surge ratio = %.2f, want the Fig. 9 spike (>4)", peak)
+	}
+	// V100's 16:00–19:00 local lull has no revocations at all.
+	if got := DiurnalRiskRatio(USWest1, model.V100, 25); got != 0 { // sim hour 25 → local 17
+		t.Fatalf("V100 evening lull ratio = %v, want 0", got)
+	}
+	if got := DiurnalRiskRatio(USEast1, model.V100, 0); got != 1 {
+		t.Fatalf("unoffered cell ratio = %v, want the uninformative 1", got)
+	}
+}
+
+// TestExpectedRevocationsPerHour pins the Table V-derived base rate:
+// -ln(1-frac24h)/24, zero where the cell is not offered.
+func TestExpectedRevocationsPerHour(t *testing.T) {
+	got := ExpectedRevocationsPerHour(USWest1, model.K80)
+	want := -math.Log(1-0.2292) / 24
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("us-west1 K80 rate = %v, want %v", got, want)
+	}
+	if ExpectedRevocationsPerHour(USEast1, model.V100) != 0 {
+		t.Fatalf("unoffered cell should have zero expected rate")
+	}
+	if !(ExpectedRevocationsPerHour(USWest1, model.V100) > got) {
+		t.Fatalf("V100 (73%% day loss) should out-rate K80 (23%%)")
+	}
+}

@@ -242,6 +242,31 @@ func (m *SpeedModel) ClusterSpeed(workers []model.GPU, gflops float64) (float64,
 	return sum, nil
 }
 
+// SyncRoundSeconds is the noise-free analytic time of one synchronous
+// global step on a mixed cluster with per-worker batch shares: the
+// slowest worker — step time scaled by its share of the global batch —
+// gates the round (the straggler effect dynamic batching exists to
+// tame). The training simulator realizes the same quantity with
+// per-step lognormal noise and queued parameter-server service; this
+// closed form is the estimator's view of it and the cross-check the
+// simulator's tests pin against.
+func SyncRoundSeconds(workers []model.GPU, shares []int, gflops float64) (float64, error) {
+	if len(workers) == 0 {
+		return 0, fmt.Errorf("core: empty cluster")
+	}
+	if len(shares) != len(workers) {
+		return 0, fmt.Errorf("core: %d workers but %d batch shares", len(workers), len(shares))
+	}
+	var worst float64
+	for i, g := range workers {
+		t := model.StepTime(g, gflops) * model.BatchTimeFactor(shares[i])
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
 // GPUs lists the GPU types the model covers.
 func (m *SpeedModel) GPUs() []model.GPU {
 	var out []model.GPU

@@ -85,6 +85,7 @@ func Extras() []Runner {
 		{ID: "fleet", Title: "Fleet scheduler comparison: multi-job contention on a capacity-constrained transient pool", Plan: planFleet},
 		{ID: "providers", Title: "Cross-provider arbitrage: single-market fleets vs. scheduling across gce+aws+serverless markets", Plan: planProviders},
 		{ID: "regret", Title: "Scheduler regret: every policy scored against a clairvoyant per-job oracle across contention regimes", Plan: planRegret},
+		{ID: "elastic", Title: "Elastic clusters: static vs. risk-driven resizing of a mixed-GPU cluster under each revocation regime", Plan: planElastic},
 	}
 }
 

@@ -38,7 +38,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig10", "fig11", "fig12", "endtoend", "sweep",
 		// Extras follow the paper artifacts; they are not part of
 		// "all" (the golden snapshot pins that stream).
-		"revmodels", "fleet", "providers", "regret",
+		"revmodels", "fleet", "providers", "regret", "elastic",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/train"
 )
 
 // SweepSpec declares a scenario grid for a measurement campaign: every
@@ -50,6 +51,32 @@ type Scenario struct {
 	// climate) the scenario runs in; empty means the default (gce).
 	Provider string
 	Workers  int
+	// Cluster optionally specifies a mixed-GPU worker composition; nil
+	// means Workers × GPU (the homogeneous default every pre-existing
+	// scenario phrases). A non-nil Cluster overrides GPU and Workers.
+	Cluster model.ClusterSpec
+	// Elastic names the manager resize policy ("static", "elastic",
+	// "surge"); empty means static.
+	Elastic string
+}
+
+// ClusterSpec resolves the scenario's worker composition with the
+// default applied — the canonical form Key embeds: an explicit spec
+// canonicalized, or Workers × GPU.
+func (s Scenario) ClusterSpec() model.ClusterSpec {
+	if len(s.Cluster) > 0 {
+		return s.Cluster.Canonical()
+	}
+	return model.HomogeneousCluster(s.GPU, s.Workers)
+}
+
+// ElasticName resolves the scenario's elastic policy with the default
+// applied — the canonical form Key embeds.
+func (s Scenario) ElasticName() string {
+	if s.Elastic == "" {
+		return "static"
+	}
+	return s.Elastic
 }
 
 // Label renders the scenario for table rows and unit keys. The
@@ -57,7 +84,15 @@ type Scenario struct {
 // implicit default read (and key) exactly as before the model axis
 // existed.
 func (s Scenario) Label() string {
-	base := fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
+	var base string
+	if len(s.Cluster) > 0 {
+		base = fmt.Sprintf("%v %v %v", s.ClusterSpec(), s.Region, s.Tier)
+	} else {
+		base = fmt.Sprintf("%d×%v %v %v", s.Workers, s.GPU, s.Region, s.Tier)
+	}
+	if s.Elastic != "" && s.Elastic != "static" {
+		base += " " + s.Elastic
+	}
 	if s.RevModel != "" {
 		base += " rev=" + s.RevModel
 	}
@@ -96,9 +131,19 @@ func (s Scenario) RevModelName() string {
 // singleflight coalescing key on it (plus workload target and seed —
 // see ScenarioKey), so any two queries that mean the same measurement
 // share one cache line no matter how they were phrased.
+// Both worker-composition phrasings normalize before encoding — an
+// explicit homogeneous Cluster and the plain GPU/Workers fields land on
+// the same key, so the two spellings share one cache line.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d|rev=%s|prov=%s",
-		s.Model.Name, s.GPU, s.Region, s.Tier, s.Workers, s.RevModelName(), s.ProviderName())
+	cluster := s.ClusterSpec()
+	gpu := s.GPU
+	workers := s.Workers
+	if len(s.Cluster) > 0 {
+		gpu = cluster[0].GPU
+		workers = cluster.TotalWorkers()
+	}
+	return fmt.Sprintf("model=%s|gpu=%s|region=%s|tier=%s|workers=%d|cluster=%s|elastic=%s|rev=%s|prov=%s",
+		s.Model.Name, gpu, s.Region, s.Tier, workers, cluster, s.ElasticName(), s.RevModelName(), s.ProviderName())
 }
 
 // ScenarioKey canonically identifies one measured scenario run: the
@@ -155,6 +200,10 @@ type ScenarioOutcome struct {
 	CostUSD           float64
 	Revocations       int
 	Replacements      int
+	// Grows and Shrinks count the elastic resize loop's actions; zero
+	// for static sessions.
+	Grows   int
+	Shrinks int
 }
 
 // SessionOptions tunes the managed session behind a measurement. The
@@ -197,9 +246,23 @@ func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts 
 	}
 	k := &sim.Kernel{}
 	provider := cloud.NewProviderFor(k, stats.NewRng(seed), spec, lm)
-	placements := make([]manager.Placement, sc.Workers)
-	for i := range placements {
-		placements[i] = manager.Placement{GPU: sc.GPU, Region: sc.Region, Tier: sc.Tier}
+	cluster := sc.ClusterSpec()
+	gpus := cluster.GPUs()
+	placements := make([]manager.Placement, len(gpus))
+	for i, g := range gpus {
+		placements[i] = manager.Placement{GPU: g, Region: sc.Region, Tier: sc.Tier}
+	}
+	// Mixed clusters and elastic sessions run the synchronous
+	// dynamic-batching mode; the batch derives from the key-determined
+	// normalized cluster, so identical keys mean identical sessions.
+	// Homogeneous static scenarios keep the asynchronous path (and
+	// their historical byte-exact results) untouched.
+	var batch *train.BatchPolicy
+	if cluster.Heterogeneous() || sc.ElasticName() != "static" {
+		batch = &train.BatchPolicy{
+			GlobalBatch: model.ReferenceBatch * cluster.TotalWorkers(),
+			Dynamic:     true,
+		}
 	}
 	sess, err := manager.NewSession(provider, manager.Config{
 		Model:              sc.Model,
@@ -209,6 +272,8 @@ func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts 
 		CheckpointInterval: ic,
 		Replacement:        opts.Replacement,
 		DelaySeconds:       opts.DelaySeconds,
+		Batch:              batch,
+		Elastic:            sc.Elastic,
 		Seed:               seed + 1,
 	})
 	if err != nil {
@@ -232,6 +297,8 @@ func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts 
 		CostUSD:           sess.Cost(),
 		Revocations:       sess.Revocations(),
 		Replacements:      sess.Replacements(),
+		Grows:             sess.Grows(),
+		Shrinks:           sess.Shrinks(),
 	}, nil
 }
 

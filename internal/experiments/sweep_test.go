@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -120,9 +121,40 @@ func TestTableVAndFigure8ShareTheCampaign(t *testing.T) {
 
 func TestScenarioKeyIsCanonicalAndGridIndependent(t *testing.T) {
 	sc := Scenario{Model: model.ResNet15(), GPU: model.P100, Region: cloud.USWest1, Tier: cloud.Transient, Workers: 4}
-	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4|rev=table5|prov=gce"
+	want := "model=ResNet-15|gpu=P100|region=us-west1|tier=transient|workers=4|cluster=4xP100|elastic=static|rev=table5|prov=gce"
 	if got := sc.Key(); got != want {
 		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// The cluster axis normalizes the same way: an explicit homogeneous
+	// spec is the same measurement as the plain GPU/Workers phrasing
+	// (one planner cache line), a mixed spec is a different world, and
+	// group order inside a spec never matters.
+	explicitCluster := sc
+	explicitCluster.Cluster = model.HomogeneousCluster(model.P100, 4)
+	if explicitCluster.Key() != sc.Key() {
+		t.Fatalf("explicit homogeneous cluster keys %q, implicit %q", explicitCluster.Key(), sc.Key())
+	}
+	mixed := sc
+	mixed.Cluster = model.ClusterSpec{{GPU: model.K80, Count: 2}, {GPU: model.P100, Count: 2}}
+	if mixed.Key() == sc.Key() {
+		t.Fatal("mixed cluster shares a key with the homogeneous scenario")
+	}
+	reordered := sc
+	reordered.Cluster = model.ClusterSpec{{GPU: model.P100, Count: 2}, {GPU: model.K80, Count: 2}}
+	if reordered.Key() != mixed.Key() {
+		t.Fatalf("group order changes the key: %q vs %q", reordered.Key(), mixed.Key())
+	}
+	// Same for the elastic axis: implicit and explicit "static" are one
+	// measurement, a real policy keys apart.
+	explicitStatic := sc
+	explicitStatic.Elastic = "static"
+	if explicitStatic.Key() != sc.Key() {
+		t.Fatalf("explicit static keys %q, implicit %q", explicitStatic.Key(), sc.Key())
+	}
+	elastic := sc
+	elastic.Elastic = "elastic"
+	if elastic.Key() == sc.Key() {
+		t.Fatal("elastic scenario shares a key with the static one")
 	}
 	// The implicit default and the explicitly-named default are the
 	// same measurement, so they share one canonical key; any other
@@ -220,14 +252,14 @@ func TestMeasureScenarioHonorsRevModel(t *testing.T) {
 			t.Fatalf("rev=%q: %v", rev, err)
 		}
 		again, err := MeasureScenario(sc, 2000, 500, SessionOptions{}, 7)
-		if err != nil || again != out {
+		if err != nil || !reflect.DeepEqual(again, out) {
 			t.Fatalf("rev=%q not deterministic: %+v vs %+v (%v)", rev, out, again, err)
 		}
 		outcomes[rev] = out
 	}
 	// Identical seeds and placements, different lifetime regimes: at
 	// least one pair must measure differently, or the axis is dead.
-	if outcomes[""] == outcomes["weibull"] && outcomes[""] == outcomes["diurnal"] {
+	if reflect.DeepEqual(outcomes[""], outcomes["weibull"]) && reflect.DeepEqual(outcomes[""], outcomes["diurnal"]) {
 		t.Error("all revocation models produced identical outcomes")
 	}
 	bad := base

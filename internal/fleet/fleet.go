@@ -33,6 +33,11 @@ type Config struct {
 	// Capacity bounds the transient pool per (region, GPU) cell; nil
 	// means infinite, reducing the fleet to independent jobs.
 	Capacity cloud.Capacity
+	// Elastic names the manager resize policy every job session runs
+	// under ("static", "elastic", "surge"); empty means static. Elastic
+	// sessions consult the fleet's own revocation history (scaled onto
+	// the diurnal prior) instead of the prior alone.
+	Elastic string
 	// HorizonHours bounds the simulation (0: a week, matching the
 	// single-scenario cap).
 	HorizonHours float64
@@ -87,6 +92,9 @@ func (c *Config) validate() (Scheduler, []marketPlan, error) {
 	if err := c.Workload.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if _, err := manager.ElasticPolicyByName(c.Elastic); err != nil {
+		return nil, nil, err
+	}
 	if c.HorizonHours < 0 {
 		return nil, nil, fmt.Errorf("fleet: negative horizon")
 	}
@@ -130,6 +138,15 @@ func (c Config) schedulerName() string {
 	return c.Scheduler
 }
 
+// elasticName resolves the config's elastic policy with the default
+// applied — the canonical form Key embeds.
+func (c Config) elasticName() string {
+	if c.Elastic == "" {
+		return "static"
+	}
+	return c.Elastic
+}
+
 // revModelName resolves the config's revocation model with the
 // default applied: an explicit name, or the first market's default
 // regime (the Table V default for the default market).
@@ -163,10 +180,10 @@ func (c Config) Key() string {
 	if horizon == 0 {
 		horizon = DefaultHorizonHours
 	}
-	return fmt.Sprintf("fleet|sched=%s|prov=%s|rev=%s|arrival=%s|rate=%g|jobs=%d|spw=%d|ic=%d|cap=%s|horizon=%g|wseed=%d",
+	return fmt.Sprintf("fleet|sched=%s|prov=%s|rev=%s|arrival=%s|rate=%g|jobs=%d|spw=%d|ic=%d|cap=%s|elastic=%s|horizon=%g|wseed=%d",
 		c.schedulerName(), strings.Join(c.providerNames(), "+"), c.revModelName(), arrival,
 		w.RatePerHour, w.Jobs, w.StepsPerWorker, ic,
-		c.Capacity.Canonical(), horizon, c.WorkloadSeed)
+		c.Capacity.Canonical(), c.elasticName(), horizon, c.WorkloadSeed)
 }
 
 // JobResult is one job's outcome.
@@ -481,13 +498,18 @@ func (f *fleetSim) start(job *Job, pl Placement) {
 	for i := range placements {
 		placements[i] = manager.Placement{GPU: pl.GPU, Region: pl.Region, Tier: pl.Tier}
 	}
-	sess, err := manager.NewSession(mk.provider, manager.Config{
+	mcfg := manager.Config{
 		Model:              job.Spec.Model,
 		Workers:            placements,
 		TargetSteps:        job.Spec.Steps,
 		CheckpointInterval: job.Spec.CheckpointInterval,
 		Seed:               campaign.Derive(f.seed, uint64(job.Spec.ID), "fleet/job"),
-	})
+	}
+	if name := f.cfg.elasticName(); name != "static" {
+		mcfg.Elastic = name
+		mcfg.Risk = historyRisk{hist: f.history, market: mk.name}
+	}
+	sess, err := manager.NewSession(mk.provider, mcfg)
 	if err != nil {
 		// Admission checked capacity, so this is a scheduler handing
 		// out an infeasible placement — fail the run loudly rather

@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/model"
+)
+
+// historyRisk is the fleet's revocation-risk signal for elastic
+// sessions: the Fig. 9 diurnal prior, scaled by how the market's pool
+// is actually behaving this run. The prior carries the shape (when
+// waves come), the History carries the level (how bad this pool really
+// is versus its Table V calibration) — the same observe-then-correct
+// split the predictive scheduler uses for rates and startups.
+type historyRisk struct {
+	hist   *History
+	market string
+}
+
+// Bounds on the observed/expected correction: a young pool with two
+// lucky (or unlucky) hours of exposure must not swing sessions into
+// permanent surge or permanent panic.
+const (
+	minRiskCorrection = 0.25
+	maxRiskCorrection = 4.0
+)
+
+// RevocationRisk implements manager.RiskSignal.
+func (h historyRisk) RevocationRisk(r cloud.Region, g model.GPU, atHours float64) float64 {
+	prior := cloud.DiurnalRiskRatio(r, g, atHours)
+	observed, ok := h.hist.RevocationsPerHour(h.market, r)
+	if !ok {
+		return prior
+	}
+	expected := cloud.ExpectedRevocationsPerHour(r, g)
+	if expected <= 0 {
+		return prior
+	}
+	correction := observed / expected
+	if correction < minRiskCorrection {
+		correction = minRiskCorrection
+	}
+	if correction > maxRiskCorrection {
+		correction = maxRiskCorrection
+	}
+	return prior * correction
+}

@@ -72,6 +72,21 @@ type Config struct {
 	// MaxReplacements bounds controller spending; 0 means unlimited.
 	MaxReplacements int
 
+	// Batch switches the cluster to synchronous dynamic batching
+	// (train.BatchPolicy); nil keeps the asynchronous default. A
+	// non-static Elastic policy with a nil Batch auto-derives
+	// model.ReferenceBatch per initial worker — elastic resizing only
+	// makes sense when shares rebalance.
+	Batch *train.BatchPolicy
+
+	// Elastic names a registered resize policy ("static", "elastic",
+	// "surge"); empty means static.
+	Elastic string
+
+	// Risk overrides the revocation-risk signal the elastic loop
+	// consults; nil uses the DiurnalRisk prior.
+	Risk RiskSignal
+
 	Seed int64
 }
 
@@ -105,6 +120,16 @@ func (c *Config) validate(spec *cloud.ProviderSpec) error {
 	if c.Replacement == ReplaceDelayed && c.DelaySeconds <= 0 {
 		return fmt.Errorf("manager: delayed replacement needs positive DelaySeconds")
 	}
+	elastic, err := ElasticPolicyByName(c.Elastic)
+	if err != nil {
+		return err
+	}
+	if elastic.Enabled() && c.Batch == nil {
+		c.Batch = &train.BatchPolicy{
+			GlobalBatch: model.ReferenceBatch * len(c.Workers),
+			Dynamic:     true,
+		}
+	}
 	return nil
 }
 
@@ -135,6 +160,14 @@ type Session struct {
 	revocations  int
 	replacements int
 
+	// Elastic-resize state (elastic.go); elastic is the zero value for
+	// static sessions.
+	elastic        ElasticPolicy
+	risk           RiskSignal
+	initialWorkers int
+	grows          int
+	shrinks        int
+
 	trainingStartedAt float64
 }
 
@@ -151,17 +184,29 @@ func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
 		ParameterServers:   cfg.ParameterServers,
 		TargetSteps:        cfg.TargetSteps,
 		CheckpointInterval: cfg.CheckpointInterval,
+		Batch:              cfg.Batch,
 		Seed:               cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
+	elastic, err := ElasticPolicyByName(cfg.Elastic)
+	if err != nil {
+		return nil, err
+	}
+	risk := cfg.Risk
+	if risk == nil {
+		risk = DiurnalRisk{}
+	}
 	s := &Session{
-		provider:   p,
-		cluster:    cluster,
-		cfg:        cfg,
-		instances:  make(map[int64]Placement),
-		instWorker: make(map[int64]string),
+		provider:       p,
+		cluster:        cluster,
+		cfg:            cfg,
+		instances:      make(map[int64]Placement),
+		instWorker:     make(map[int64]string),
+		elastic:        elastic,
+		risk:           risk,
+		initialWorkers: len(cfg.Workers),
 	}
 	if cfg.TargetSteps > 0 {
 		// Stop the meter the moment training completes; cloud servers
@@ -184,6 +229,9 @@ func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
 		if err := s.requestWorker(w); err != nil {
 			return nil, err
 		}
+	}
+	if s.elastic.Enabled() {
+		s.scheduleElasticCheck()
 	}
 	return s, nil
 }
@@ -319,6 +367,12 @@ func (s *Session) workerRevoked(in *cloud.Instance) {
 	if s.cluster.Done() {
 		return
 	}
+	// An elastic session only replaces down to its floor: above it the
+	// resize loop decides when (and where) to regrow — usually after
+	// the revocation wave that just took this worker has passed.
+	if s.elastic.Enabled() && len(s.instances) >= s.elasticFloor() {
+		return
+	}
 	switch s.cfg.Replacement {
 	case ReplaceImmediate:
 		s.replace(pl, 0)
@@ -353,6 +407,12 @@ func (s *Session) replace(pl Placement, delay float64) {
 	var launch func()
 	launch = func() {
 		if s.cluster.Done() {
+			return
+		}
+		// An elastic grow may have refilled the gap while this
+		// replacement was delayed or capacity-blocked; launching anyway
+		// would overshoot the pool the policy maintains.
+		if s.elastic.Enabled() && len(s.instances) >= s.elasticFloor() {
 			return
 		}
 		err := s.requestWorker(pl)

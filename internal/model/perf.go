@@ -95,6 +95,31 @@ func segment(a, b stepAnchor, x float64) float64 {
 	return a.step + slope*(x-a.gflops)
 }
 
+// ReferenceBatch is the per-worker minibatch size the Table I step
+// times were measured at (the paper's CIFAR-10 methodology trains with
+// 128-sample minibatches). Dynamic batch sizing scales each worker's
+// step time through BatchTimeFactor relative to this calibration
+// point.
+const ReferenceBatch = 128
+
+// batchFixedFraction is the share of a step that does not scale with
+// the minibatch: kernel launches, input-pipeline latency, and the
+// gradient exchange all cost the same for 32 samples as for 512. This
+// is what makes strong scaling sublinear — halving a worker's batch
+// does not halve its step time.
+const batchFixedFraction = 0.25
+
+// BatchTimeFactor returns the step-time multiplier for a per-worker
+// minibatch of b samples relative to ReferenceBatch: a fixed fraction
+// plus a part linear in the batch. b == ReferenceBatch gives exactly
+// 1, so clusters that never rebalance keep the Table I calibration.
+func BatchTimeFactor(b int) float64 {
+	if b <= 0 {
+		return batchFixedFraction
+	}
+	return batchFixedFraction + (1-batchFixedFraction)*float64(b)/ReferenceBatch
+}
+
 // StepTimeCoV is the per-step multiplicative noise level. Fig. 2
 // reports a maximum coefficient of variation of 0.02 for steady-state
 // single-worker training.

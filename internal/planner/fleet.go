@@ -41,6 +41,10 @@ type FleetQuery struct {
 	// provider names). Empty means the default single market; the
 	// cross-provider "arbitrage" scheduler wants two or more.
 	Providers []string `json:"providers,omitempty"`
+	// Elastic names a cluster membership policy (catalog
+	// elastic_policies name) applied to every job session. Empty (or
+	// "static") holds each job's launch shape.
+	Elastic string `json:"elastic,omitempty"`
 	// HorizonHours bounds the run (0: a week).
 	HorizonHours float64 `json:"horizon_hours,omitempty"`
 	// WorkloadSeed seeds job generation independently of Seed (0:
@@ -81,6 +85,7 @@ func (q FleetQuery) config() (fleet.Config, error) {
 		Scheduler:    q.Scheduler,
 		RevModel:     q.RevModel,
 		Providers:    q.Providers,
+		Elastic:      q.Elastic,
 		Capacity:     capacity,
 		HorizonHours: q.HorizonHours,
 		WorkloadSeed: q.WorkloadSeed,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/manager"
 	"repro/internal/model"
 )
 
@@ -146,16 +147,20 @@ type Catalog struct {
 	// fields accept (catalog, price book, startup model, climate).
 	Providers []string `json:"providers"`
 	// Schedulers are the fleet admission policies /v1/fleet accepts.
-	Schedulers  []string `json:"schedulers"`
-	Experiments []string `json:"experiments"`
+	Schedulers []string `json:"schedulers"`
+	// ElasticPolicies are the cluster membership policies a query's
+	// elastic field accepts.
+	ElasticPolicies []string `json:"elastic_policies"`
+	Experiments     []string `json:"experiments"`
 }
 
 func catalog() Catalog {
 	c := Catalog{
-		Experiments:    experiments.IDs(),
-		LifetimeModels: cloud.LifetimeModelNames(),
-		Providers:      cloud.ProviderNames(),
-		Schedulers:     fleet.SchedulerNames(),
+		Experiments:     experiments.IDs(),
+		LifetimeModels:  cloud.LifetimeModelNames(),
+		Providers:       cloud.ProviderNames(),
+		Schedulers:      fleet.SchedulerNames(),
+		ElasticPolicies: manager.ElasticPolicies(),
 	}
 	for _, m := range model.Zoo() {
 		c.Models = append(c.Models, m.Name)

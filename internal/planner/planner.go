@@ -32,6 +32,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/manager"
 	"repro/internal/model"
 )
 
@@ -263,6 +264,16 @@ type ScenarioQuery struct {
 	Region  string `json:"region"`
 	Tier    string `json:"tier"`
 	Workers int    `json:"workers"`
+	// Cluster names a (possibly mixed-GPU) worker shape in the
+	// "2xK80+1xV100" notation, replacing the gpu/workers pair — give
+	// one phrasing or the other, not both. A homogeneous cluster
+	// canonicalizes to the same scenario key as the equivalent
+	// gpu/workers query, so both phrasings share one cache line.
+	Cluster string `json:"cluster,omitempty"`
+	// Elastic names a cluster membership policy from the catalog's
+	// elastic_policies list. Empty (or "static") holds the launch
+	// shape and only replaces revocations.
+	Elastic string `json:"elastic,omitempty"`
 	// RevModel selects the revocation/lifetime regime the simulated
 	// cloud applies to transient servers — a name from the catalog's
 	// lifetime_models list (builtins plus any -trace registrations).
@@ -284,9 +295,24 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	g, err := model.ParseGPU(q.GPU)
-	if err != nil {
-		return experiments.Scenario{}, 0, 0, err
+	var cluster model.ClusterSpec
+	var g model.GPU
+	workers := q.Workers
+	if q.Cluster != "" {
+		if q.GPU != "" || q.Workers != 0 {
+			return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: cluster replaces gpu/workers; give one phrasing, not both")
+		}
+		cluster, err = model.ParseClusterSpec(q.Cluster)
+		if err != nil {
+			return experiments.Scenario{}, 0, 0, err
+		}
+		g = cluster[0].GPU
+		workers = cluster.TotalWorkers()
+	} else {
+		g, err = model.ParseGPU(q.GPU)
+		if err != nil {
+			return experiments.Scenario{}, 0, 0, err
+		}
 	}
 	r, err := cloud.ParseRegion(q.Region)
 	if err != nil {
@@ -300,19 +326,28 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	if !spec.Offers(r, g) {
-		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s by provider %s", g, r, spec.Name)
+	offered := cluster
+	if offered == nil {
+		offered = model.ClusterSpec{{GPU: g, Count: 1}}
+	}
+	for _, grp := range offered {
+		if !spec.Offers(r, grp.GPU) {
+			return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: %s is not offered in %s by provider %s", grp.GPU, r, spec.Name)
+		}
 	}
 	if q.RevModel != "" {
 		if _, err := cloud.LookupLifetimeModel(q.RevModel); err != nil {
 			return experiments.Scenario{}, 0, 0, err
 		}
 	}
-	if q.Workers <= 0 {
+	if _, err := manager.ElasticPolicyByName(q.Elastic); err != nil {
+		return experiments.Scenario{}, 0, 0, err
+	}
+	if workers <= 0 {
 		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers must be positive")
 	}
-	if q.Workers > maxWorkersPerScenario {
-		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers %d exceeds the per-scenario limit of %d", q.Workers, maxWorkersPerScenario)
+	if workers > maxWorkersPerScenario {
+		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: workers %d exceeds the per-scenario limit of %d", workers, maxWorkersPerScenario)
 	}
 	if q.TargetSteps <= 0 {
 		return experiments.Scenario{}, 0, 0, fmt.Errorf("planner: target_steps must be positive")
@@ -321,7 +356,7 @@ func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
 	if err != nil {
 		return experiments.Scenario{}, 0, 0, err
 	}
-	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, RevModel: q.RevModel, Provider: q.Provider, Workers: q.Workers}
+	sc := experiments.Scenario{Model: m, GPU: g, Region: r, Tier: tier, RevModel: q.RevModel, Provider: q.Provider, Workers: workers, Cluster: cluster, Elastic: q.Elastic}
 	return sc, q.TargetSteps, ic, nil
 }
 

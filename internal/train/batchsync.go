@@ -1,0 +1,201 @@
+package train
+
+import (
+	"repro/internal/model"
+)
+
+// This file is the synchronous dynamic-batching mode (Config.Batch):
+// training proceeds in global rounds, each processing exactly the
+// policy's global minibatch. Every live worker computes its share,
+// pushes through the parameter-server shards, and the round — one
+// global step — completes when the slowest contribution lands (the
+// straggler effect). Shares rebalance on every membership change, so
+// revocations slow the survivors down instead of shrinking the
+// effective batch (SNIPPETS.md Snippet 2's "train with dynamic
+// cluster sizes", with Tyagi & Sharma's speed-proportional shares
+// taming mixed-GPU stragglers). The asynchronous mode in worker.go is
+// untouched when Batch is nil.
+
+// syncEnabled reports whether the session runs in synchronous rounds.
+func (c *Cluster) syncEnabled() bool { return c.cfg.Batch != nil }
+
+// Shares returns the current per-worker batch shares (a copy); only
+// meaningful in synchronous mode.
+func (c *Cluster) Shares() map[string]int {
+	out := make(map[string]int, len(c.shares))
+	for name, s := range c.shares {
+		out[name] = s
+	}
+	return out
+}
+
+// rebalance recomputes the live workers' batch shares. It runs on
+// every membership change (join, revocation, scale-in) and at Start,
+// keeping the global batch exact across any cluster size the session
+// passes through.
+func (c *Cluster) rebalance() {
+	if !c.syncEnabled() {
+		return
+	}
+	live := c.LiveWorkers()
+	c.shares = make(map[string]int, len(live))
+	if len(live) == 0 {
+		return
+	}
+	weights := make([]float64, len(live))
+	for i, name := range live {
+		if c.cfg.Batch.Dynamic {
+			weights[i] = model.StepsPerSecond(c.workers[name].gpu, c.cfg.Model)
+		} else {
+			weights[i] = 1
+		}
+	}
+	shares := model.BatchShares(c.cfg.Batch.GlobalBatch, weights, c.cfg.Batch.minShare(), c.cfg.Batch.maxShare())
+	for i, name := range live {
+		c.shares[name] = shares[i]
+	}
+}
+
+// startRound launches one global step: every live worker draws its
+// share-scaled compute time and heads for the parameter servers. With
+// no live workers the round waits for the next join.
+func (c *Cluster) startRound() {
+	if c.done || !c.started {
+		return
+	}
+	live := c.LiveWorkers()
+	if len(live) == 0 {
+		return
+	}
+	c.roundActive = true
+	c.roundContrib = 0
+	c.roundPending = make(map[string]bool, len(live))
+	for _, name := range live {
+		c.roundPending[name] = true
+	}
+	for _, name := range live {
+		w := c.workers[name]
+		w.stepStart = c.k.Now()
+		compute := w.rng.LogNormal(w.computeMean*model.BatchTimeFactor(c.shares[name]), model.StepTimeCoV)
+		if !c.cfg.DisableWarmup {
+			// Warm-up tracks the collective step in sync mode: the round
+			// is a cluster-wide unit, not a per-worker one.
+			compute *= model.WarmupMultiplier(c.globalStep)
+		}
+		c.k.After(compute, func() { c.pushSync(w) })
+	}
+}
+
+// pushSync pushes one worker's gradient share through every shard,
+// mirroring the asynchronous pushUpdate's service draws.
+func (c *Cluster) pushSync(w *Worker) {
+	if w.dead || c.done {
+		return
+	}
+	remaining := len(c.shards)
+	if remaining == 0 {
+		c.syncContribution(w)
+		return
+	}
+	meanService := shardServiceSeconds(c.cfg.Model, len(c.shards))
+	for _, shard := range c.shards {
+		service := w.rng.LogNormal(meanService, psServiceCoV)
+		shard.Submit(service, func() {
+			remaining--
+			if remaining == 0 {
+				c.syncContribution(w)
+			}
+		})
+	}
+}
+
+// syncContribution lands one worker's share in the current round.
+func (c *Cluster) syncContribution(w *Worker) {
+	if c.done || w.dead {
+		return // a dead worker's in-flight share was already written off
+	}
+	w.stepsDone++
+	c.tracker.RecordWorkerStep(w.name, float64(c.k.Now()-w.stepStart))
+	if !c.roundActive || !c.roundPending[w.name] {
+		return
+	}
+	delete(c.roundPending, w.name)
+	c.roundContrib++
+	if len(c.roundPending) == 0 {
+		c.finishRound()
+	}
+}
+
+// finishRound closes the round: the global step advances if anyone
+// contributed, the chief checkpoints if due (the barrier waits — the
+// chief's graph is busy writing, §IV-B), and the next round starts.
+func (c *Cluster) finishRound() {
+	c.roundActive = false
+	c.roundPending = nil
+	if c.roundContrib == 0 {
+		// Every member died mid-round: no gradients landed, so no step.
+		// A worker that joined while the doomed round was in flight is
+		// live but idle — restart for it; otherwise wait for a join.
+		if len(c.LiveWorkers()) > 0 {
+			c.startRound()
+		}
+		return
+	}
+	c.completeGlobalStep()
+	if c.done {
+		return
+	}
+	if chief, ok := c.workers[c.chief]; ok && !chief.dead && c.checkpointDue() {
+		c.runCheckpointSync(chief)
+		return
+	}
+	c.startRound()
+}
+
+// dropFromRound writes a dying worker's pending contribution off the
+// current round so the barrier cannot deadlock on a revoked member.
+// The round's global batch comes up short by that share — the real
+// cost of losing a synchronous worker mid-step.
+func (c *Cluster) dropFromRound(name string) {
+	if !c.roundActive || !c.roundPending[name] {
+		return
+	}
+	delete(c.roundPending, name)
+	if len(c.roundPending) == 0 {
+		c.finishRound()
+	}
+}
+
+// runCheckpointSync is runCheckpoint for the synchronous mode: the
+// whole cluster stalls at the round barrier while the chief writes,
+// then the next round starts. A chief revoked mid-write loses the
+// save but must not stall the barrier forever.
+func (c *Cluster) runCheckpointSync(w *Worker) {
+	c.ckptActive = true
+	snapshot := c.globalStep
+	dur := w.rng.LogNormal(CheckpointSeconds(c.cfg.Model), ckptTimeCoV)
+	c.k.After(dur, func() {
+		c.ckptActive = false
+		if c.done {
+			return
+		}
+		if !w.dead {
+			c.lastCkptStep = snapshot
+			c.ckptCount++
+			c.ckptSeconds += dur
+			c.addEvent(EventCheckpoint, w.name)
+		}
+		c.startRound()
+	})
+}
+
+// syncJoin folds a newly joined worker into the schedule: shares
+// rebalance immediately, and if the cluster was idle (all previous
+// members dead, or first join) a fresh round starts. A running round
+// or in-flight checkpoint picks the worker up at its next boundary.
+func (c *Cluster) syncJoin() {
+	c.rebalance()
+	if !c.roundActive && !c.ckptActive {
+		c.startRound()
+	}
+}

@@ -25,6 +25,9 @@ const (
 	// EventChiefHandoff: checkpoint duty moved to another worker
 	// (CM-DARE's transient-TensorFlow behavior).
 	EventChiefHandoff
+	// EventShrink: a worker was retired voluntarily (an elastic
+	// scale-in, not a revocation).
+	EventShrink
 )
 
 // String names the event kind.
@@ -40,6 +43,8 @@ func (k EventKind) String() string {
 		return "rollback"
 	case EventChiefHandoff:
 		return "chief-handoff"
+	case EventShrink:
+		return "shrink"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -84,6 +89,13 @@ type Cluster struct {
 
 	events    []Event
 	stepHooks map[int64][]func()
+
+	// Synchronous-mode state (Config.Batch != nil; see batchsync.go).
+	shares       map[string]int
+	roundPending map[string]bool
+	roundContrib int
+	roundActive  bool
+	ckptActive   bool
 
 	nWorkersCreated int
 }
@@ -155,6 +167,11 @@ func (c *Cluster) Start() {
 	c.started = true
 	c.startedAt = c.k.Now()
 	c.tracker.Begin(c.k.Now().Seconds())
+	if c.syncEnabled() {
+		c.rebalance()
+		c.startRound()
+		return
+	}
 	for _, name := range c.order {
 		c.workers[name].startStep()
 	}
@@ -236,6 +253,19 @@ func (c *Cluster) WhenStep(step int64, fn func()) {
 // handoff is enabled, checkpoint duty moves to the oldest surviving
 // worker.
 func (c *Cluster) KillWorker(name string) error {
+	return c.retire(name, EventRevocation)
+}
+
+// RemoveWorker retires a worker voluntarily — the elastic manager's
+// scale-in path. Mechanically identical to a revocation (the worker's
+// in-flight step is discarded, chief duty hands off) but recorded as a
+// shrink, so timelines distinguish policy decisions from preemptions.
+func (c *Cluster) RemoveWorker(name string) error {
+	return c.retire(name, EventShrink)
+}
+
+// retire is the shared exit path for revocations and scale-ins.
+func (c *Cluster) retire(name string, kind EventKind) error {
 	w, ok := c.workers[name]
 	if !ok {
 		return fmt.Errorf("train: no worker %q", name)
@@ -244,7 +274,7 @@ func (c *Cluster) KillWorker(name string) error {
 		return fmt.Errorf("train: worker %q already dead", name)
 	}
 	w.dead = true
-	c.addEvent(EventRevocation, name)
+	c.addEvent(kind, name)
 	if name == c.chief {
 		c.chief = ""
 		if c.chiefHandoff {
@@ -256,6 +286,12 @@ func (c *Cluster) KillWorker(name string) error {
 				}
 			}
 		}
+	}
+	if c.syncEnabled() {
+		// Survivors absorb the leaver's batch share from the next round;
+		// the current round completes without its contribution.
+		c.rebalance()
+		c.dropFromRound(name)
 	}
 	return nil
 }
@@ -300,6 +336,10 @@ func (c *Cluster) AddWorker(spec WorkerSpec, mode JoinMode) (string, error) {
 		} else if mode.MakeChief || c.chief == "" {
 			c.chief = name
 			c.addEvent(EventChiefHandoff, name)
+		}
+		if c.syncEnabled() {
+			c.syncJoin()
+			return
 		}
 		w.startStep()
 	})

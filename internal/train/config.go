@@ -30,6 +30,56 @@ func Mixed(k80, p100, v100 int) []WorkerSpec {
 	return specs
 }
 
+// BatchPolicy opts a session into synchronous training with a fixed
+// global minibatch split across the live workers. The global batch is
+// the invariant — it is a hyperparameter, so membership changes
+// rebalance the per-worker shares instead of shrinking the effective
+// batch — and each global step completes when the slowest worker has
+// pushed its share (the straggler effect heterogeneous clusters pay).
+// Dynamic sizing splits shares proportional to worker speed (Tyagi &
+// Sharma's heterogeneity-taming batching); a static split gives every
+// worker an equal share regardless of GPU.
+type BatchPolicy struct {
+	// GlobalBatch is the total samples per global step (required).
+	GlobalBatch int
+	// MinShare/MaxShare clamp any one worker's share (0: defaults
+	// ReferenceBatch/4 and ReferenceBatch×4). When the live worker
+	// count makes the clamps and the exact global batch incompatible,
+	// the global batch wins.
+	MinShare, MaxShare int
+	// Dynamic splits shares proportional to per-GPU speed; false
+	// splits them equally (the straggler-exposed baseline).
+	Dynamic bool
+}
+
+// minShare and maxShare apply the documented defaults.
+func (p *BatchPolicy) minShare() int {
+	if p.MinShare == 0 {
+		return model.ReferenceBatch / 4
+	}
+	return p.MinShare
+}
+
+func (p *BatchPolicy) maxShare() int {
+	if p.MaxShare == 0 {
+		return model.ReferenceBatch * 4
+	}
+	return p.MaxShare
+}
+
+func (p *BatchPolicy) validate() error {
+	if p.GlobalBatch <= 0 {
+		return fmt.Errorf("train: batch policy needs a positive global batch")
+	}
+	if p.MinShare < 0 || p.MaxShare < 0 {
+		return fmt.Errorf("train: negative batch share clamp")
+	}
+	if p.minShare() > p.maxShare() {
+		return fmt.Errorf("train: batch min share %d above max %d", p.minShare(), p.maxShare())
+	}
+	return nil
+}
+
 // Config describes one training session.
 type Config struct {
 	// Model is the CNN being trained.
@@ -53,6 +103,11 @@ type Config struct {
 	// DisableWarmup skips the warm-up transient; microbenchmarks that
 	// start measurement after warm-up use this to save simulated time.
 	DisableWarmup bool
+	// Batch, when set, runs the session synchronously under a fixed
+	// global minibatch with per-worker shares rebalanced on every
+	// membership change. Nil keeps the asynchronous parameter-server
+	// loop byte-for-byte.
+	Batch *BatchPolicy
 	// Seed drives all randomness in the session.
 	Seed int64
 }
@@ -81,6 +136,11 @@ func (c *Config) validate() error {
 	}
 	if c.SpeedWindowSteps < 0 {
 		return fmt.Errorf("train: negative speed window")
+	}
+	if c.Batch != nil {
+		if err := c.Batch.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
