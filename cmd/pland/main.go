@@ -15,7 +15,14 @@
 // Usage:
 //
 //	pland [-addr 127.0.0.1:8642] [-workers 8] [-queue 64] [-cache 4096]
-//	      [-trace name=file.csv ...]
+//	      [-trace name=file.csv ...] [-pprof]
+//
+// GET /metrics exposes the service-plane registry (cache hit/miss
+// counters, admission queue depth, per-endpoint request latency, pool
+// utilization) in Prometheus text form; -pprof additionally mounts
+// net/http/pprof's profiling handlers under /debug/pprof/ — off by
+// default, since the profiler endpoints are not something to expose
+// beyond a trusted network.
 //
 // Each -trace flag (repeatable) registers a revocation-trace CSV — the
 // format cmd/revstudy exports and the paper's public dataset uses — as
@@ -32,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -92,11 +100,12 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8642", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool size")
-		queue   = flag.Int("queue", 64, "bounded admission queue depth")
-		cache   = flag.Int("cache", 4096, "scenario result cache entries (LRU)")
-		traces  traceFlags
+		addr      = flag.String("addr", "127.0.0.1:8642", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation pool size")
+		queue     = flag.Int("queue", 64, "bounded admission queue depth")
+		cache     = flag.Int("cache", 4096, "scenario result cache entries (LRU)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		traces    traceFlags
 	)
 	flag.Var(&traces, "trace",
 		"register a revocation-trace CSV (revstudy format) as an empirical lifetime model, as name=file.csv; repeatable, selected per query via rev_model")
@@ -112,10 +121,27 @@ func run() int {
 	p := planner.New(planner.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
 	defer p.Close()
 
+	// The planner's mux serves everything; -pprof wraps it in an outer
+	// mux that adds the profiler endpoints explicitly (no blank import:
+	// registering on DefaultServeMux would mount the profiler whether
+	// the operator asked or not).
+	handler := p.Handler()
+	if *pprofFlag {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Fprintln(os.Stderr, "pland: pprof mounted at /debug/pprof/")
+	}
+
 	// No read/write timeouts: sweeps stream NDJSON for as long as the
 	// simulations take. Header reads are bounded so an idle half-open
 	// connection cannot pin a goroutine.
-	srv := &http.Server{Addr: *addr, Handler: p.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "pland: listening on http://%s (workers=%d queue=%d cache=%d)\n",

@@ -11,10 +11,21 @@
 //	repro -list
 //	repro -exp table1
 //	repro -exp all [-seed 42] [-parallel 8]
+//	repro -exp all -trace-out trace.ndjson   # sim-plane event trace
+//	repro -exp all -timing-out timing.json   # per-unit wall timing
 //	repro -exp revmodels   # extras run individually, outside "all"
 //	repro -exp fleet       # multi-job scheduler comparison (extra)
 //	repro -exp regret      # schedulers vs clairvoyant oracle (extra)
 //	repro -exp elastic     # elastic vs static mixed clusters (extra)
+//
+// -trace-out records every session's sim-plane events (revocations,
+// checkpoints, rebalances, elastic resizes, speed samples — see
+// internal/obs) as NDJSON, units sorted by key: the trace is a pure
+// function of (experiment set, seed), byte-identical at any -parallel,
+// and never perturbs the primary output. -timing-out is the service
+// plane's counterpart: per-unit wall-clock timings as JSON — useful
+// for profiling the campaign itself, by construction excluded from
+// every simulated number.
 //
 // "all" runs exactly the paper's artifact set (the stream the golden
 // snapshot pins); extra experiments — revmodels, the revocation-model
@@ -28,16 +39,20 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,10 +61,12 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
-		seed     = flag.Int64("seed", 42, "base random seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for campaign replications")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "", "experiment id to run, or 'all'")
+		seed      = flag.Int64("seed", 42, "base random seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for campaign replications")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		traceOut  = flag.String("trace-out", "", "write the sim-plane event trace (NDJSON, deterministic) to this file")
+		timingOut = flag.String("timing-out", "", "write per-unit wall-clock timings (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -77,15 +94,134 @@ func run() int {
 		runners = []experiments.Runner{r}
 	}
 
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector()
+	}
+	var timings *timingCollector
+	if *timingOut != "" {
+		timings = newTimingCollector(runners, *parallel)
+	}
+
 	start := time.Now()
-	printed, err := writeExperiments(os.Stdout, runners, *seed, *parallel)
+	printed, err := writeExperimentsObserved(os.Stdout, runners, *seed, *parallel, col, timings)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		return 1
 	}
+	if col != nil {
+		if err := writeTraceFile(*traceOut, col); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote %d trace events across %d units to %s\n",
+			col.Len(), len(col.Units()), *traceOut)
+	}
+	if timings != nil {
+		if err := timings.writeFile(*timingOut, time.Since(start).Seconds()); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote unit timings to %s\n", *timingOut)
+	}
 	fmt.Fprintf(os.Stderr, "repro: %d experiment(s) in %.1fs (-parallel %d)\n",
 		printed, time.Since(start).Seconds(), *parallel)
 	return 0
+}
+
+// writeTraceFile exports the collector's deterministic NDJSON stream.
+func writeTraceFile(path string, col *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// unitTiming is one row of the -timing-out artifact: one campaign
+// unit's wall-clock execution time. Wall-clock is the service plane —
+// it never feeds a simulated number.
+type unitTiming struct {
+	Experiment string  `json:"experiment"`
+	Unit       int     `json:"unit"`
+	Key        string  `json:"key"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// timingCollector gathers per-unit timings from the engine's OnUnit
+// hook, which may fire from any worker goroutine.
+type timingCollector struct {
+	ids      []string
+	parallel int
+
+	mu    sync.Mutex
+	units []unitTiming
+}
+
+func newTimingCollector(runners []experiments.Runner, parallel int) *timingCollector {
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+	}
+	return &timingCollector{ids: ids, parallel: parallel}
+}
+
+// onUnit is the campaign.Engine OnUnit hook.
+func (t *timingCollector) onUnit(plan, unit int, key string, seconds float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.units = append(t.units, unitTiming{Experiment: t.ids[plan], Unit: unit, Key: key, Seconds: seconds})
+}
+
+// timingReport is the -timing-out JSON shape: the campaign's shape and
+// totals plus every unit's timing, sorted by (experiment, unit index)
+// so the artifact is stable however the pool scheduled the work.
+type timingReport struct {
+	Parallel         int          `json:"parallel"`
+	Units            int          `json:"units"`
+	TotalUnitSeconds float64      `json:"total_unit_seconds"`
+	WallSeconds      float64      `json:"wall_seconds"`
+	PerUnit          []unitTiming `json:"per_unit"`
+}
+
+func (t *timingCollector) writeFile(path string, wallSeconds float64) error {
+	t.mu.Lock()
+	units := make([]unitTiming, len(t.units))
+	copy(units, t.units)
+	t.mu.Unlock()
+	order := func(i, j int) bool {
+		if units[i].Experiment != units[j].Experiment {
+			return units[i].Experiment < units[j].Experiment
+		}
+		return units[i].Unit < units[j].Unit
+	}
+	sort.Slice(units, order)
+	total := 0.0
+	for _, u := range units {
+		total += u.Seconds
+	}
+	rep := timingReport{
+		Parallel:         t.parallel,
+		Units:            len(units),
+		TotalUnitSeconds: total,
+		WallSeconds:      wallSeconds,
+		PerUnit:          units,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeExperiments renders the selected experiments to w in order,
@@ -95,15 +231,33 @@ func run() int {
 // batch; errors from campaigns still in flight at that moment are
 // joined into the returned error rather than dropped.
 func writeExperiments(w io.Writer, runners []experiments.Runner, seed int64, parallel int) (int, error) {
+	return writeExperimentsObserved(w, runners, seed, parallel, nil, nil)
+}
+
+// writeExperimentsObserved is writeExperiments with the observability
+// planes attached: a non-nil collector threads a sim-plane recorder
+// into every traceable unit (the primary output stays byte-identical —
+// recording draws no randomness and schedules no events), and a
+// non-nil timing collector receives each unit's wall-clock execution
+// time from the engine.
+func writeExperimentsObserved(w io.Writer, runners []experiments.Runner, seed int64, parallel int, col *obs.Collector, timings *timingCollector) (int, error) {
 	// One shared pool across all selected experiments, so the tail of
 	// one campaign overlaps the head of the next.
 	plans := make([]*campaign.Plan, len(runners))
 	for i, r := range runners {
-		plans[i] = r.Plan(seed)
+		if col != nil {
+			plans[i] = r.PlanTraced(seed, col)
+		} else {
+			plans[i] = r.Plan(seed)
+		}
+	}
+	engine := campaign.Engine{Workers: parallel}
+	if timings != nil {
+		engine.OnUnit = timings.onUnit
 	}
 	printed := 0
 	var failed error
-	dropped := campaign.Engine{Workers: parallel}.RunEach(plans, func(i int, o campaign.Outcome) bool {
+	dropped := engine.RunEach(plans, func(i int, o campaign.Outcome) bool {
 		if o.Err != nil {
 			failed = fmt.Errorf("%s: %w", runners[i].ID, o.Err)
 			return false

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Unit is one independent replication: typically a single simulated
@@ -85,6 +86,29 @@ type Pool struct {
 	closed    bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	workers int
+
+	// Utilization accounting, fed by Submit's wrapper: wall-clock only,
+	// never visible to any simulation. waitNanos is accept → start
+	// (queue wait), busyNanos is start → end (execution).
+	jobsRun   atomic.Int64
+	waitNanos atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// PoolStats is a snapshot of the pool's cumulative utilization.
+type PoolStats struct {
+	// Workers is the fixed worker count; QueueCapacity the admission
+	// queue's size; QueueDepth the jobs waiting right now.
+	Workers       int
+	QueueCapacity int
+	QueueDepth    int
+	// JobsRun counts completed jobs; WaitSeconds and BusySeconds total
+	// their queue wait (accept → start) and execution time.
+	JobsRun     int64
+	WaitSeconds float64
+	BusySeconds float64
 }
 
 // ErrPoolClosed reports a Submit on a closed pool.
@@ -100,7 +124,7 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{jobs: make(chan func(), queue), done: make(chan struct{})}
+	p := &Pool{jobs: make(chan func(), queue), done: make(chan struct{}), workers: workers}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
@@ -123,20 +147,41 @@ func (p *Pool) Submit(ctx context.Context, job func()) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
+	accepted := time.Now()
+	wrapped := func() {
+		start := time.Now()
+		p.waitNanos.Add(start.Sub(accepted).Nanoseconds())
+		job()
+		p.busyNanos.Add(time.Since(start).Nanoseconds())
+		p.jobsRun.Add(1)
+	}
 	// Fast path: queue has room (or a worker is waiting).
 	select {
-	case p.jobs <- job:
+	case p.jobs <- wrapped:
 		return nil
 	default:
 	}
 	select {
-	case p.jobs <- job:
+	case p.jobs <- wrapped:
 		return nil
 	case <-ctx.Done():
 		return context.Cause(ctx)
 	case <-p.done:
 		// Close started while we were waiting for queue space.
 		return ErrPoolClosed
+	}
+}
+
+// Stats snapshots the pool's utilization counters. Safe to call from
+// any goroutine, including while jobs run.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:       p.workers,
+		QueueCapacity: cap(p.jobs),
+		QueueDepth:    len(p.jobs),
+		JobsRun:       p.jobsRun.Load(),
+		WaitSeconds:   float64(p.waitNanos.Load()) / 1e9,
+		BusySeconds:   float64(p.busyNanos.Load()) / 1e9,
 	}
 }
 
@@ -161,6 +206,12 @@ func (p *Pool) Close() {
 type Engine struct {
 	Workers int
 	Pool    *Pool
+	// OnUnit, when set, is called after each unit retires with its
+	// wall-clock execution time — the per-unit timing feed the bench
+	// artifact and future perf work read. It may be called from any
+	// worker goroutine and must be safe for concurrent use. Timing is
+	// observational only; unit results never depend on it.
+	OnUnit func(plan, unit int, key string, seconds float64)
 }
 
 // Run executes a single plan and returns its reduced value.
@@ -276,7 +327,11 @@ func (e Engine) RunEachContext(ctx context.Context, plans []*Plan, done func(i i
 			errs[j.plan][j.unit] = fmt.Errorf("%w: %v", ErrSkipped, cause)
 		} else {
 			u := p.Units[j.unit]
+			start := time.Now()
 			out, err := runUnit(u, Derive(p.Seed, uint64(j.unit), u.Key))
+			if e.OnUnit != nil {
+				e.OnUnit(j.plan, j.unit, u.Key, time.Since(start).Seconds())
+			}
 			outs[j.plan][j.unit] = out
 			errs[j.plan][j.unit] = err
 		}

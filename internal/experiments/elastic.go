@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // The elastic experiment pits static against elastically resized
@@ -127,8 +128,8 @@ func planElastic(seed int64) *campaign.Plan {
 					Cluster:  elasticCluster(),
 					Elastic:  policy,
 				}
-				p.unit(fmt.Sprintf("elastic/%s/%s/rep%d", regime.label, policy, rep), func(int64) (any, error) {
-					out, err := runScenario(sc, steps, elasticCheckpointInterval, SessionOptions{}, cellSeed)
+				p.tunit(fmt.Sprintf("elastic/%s/%s/rep%d", regime.label, policy, rep), func(_ int64, rec *obs.Recorder) (any, error) {
+					out, err := runScenario(sc, steps, elasticCheckpointInterval, SessionOptions{Trace: rec}, cellSeed)
 					if err != nil {
 						return nil, err
 					}

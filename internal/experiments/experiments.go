@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -37,6 +38,27 @@ type Runner struct {
 // Run executes the experiment sequentially (one worker).
 func (r Runner) Run(seed int64) (Result, error) {
 	return r.RunWorkers(seed, 1)
+}
+
+// Tracing state consulted by newPlan. Plan building is single-threaded
+// (runners declare their grids before the engine schedules anything),
+// so package-level state set around the Plan call is safe; PlanTraced
+// is the only writer.
+var (
+	activeCollector *obs.Collector
+	activePrefix    string
+)
+
+// PlanTraced builds the runner's plan with sim-plane tracing attached:
+// every traceable unit gets a recorder registered in col under
+// "<id>/<unit index> <unit key>". Unit recorders are created here, at
+// declaration time, and each is written only by its own unit's
+// goroutine — so the collector's exported stream is deterministic at
+// any worker count.
+func (r Runner) PlanTraced(seed int64, col *obs.Collector) *campaign.Plan {
+	activeCollector, activePrefix = col, r.ID
+	defer func() { activeCollector, activePrefix = nil, "" }()
+	return r.Plan(seed)
 }
 
 // RunWorkers executes the experiment's campaign on a pool of the given
@@ -124,9 +146,16 @@ func IDs() []string {
 type plan struct {
 	seed  int64
 	units []campaign.Unit
+
+	// col/prefix snapshot the package tracing state at newPlan time, so
+	// traced units resolve their recorders at declaration.
+	col    *obs.Collector
+	prefix string
 }
 
-func newPlan(seed int64) *plan { return &plan{seed: seed} }
+func newPlan(seed int64) *plan {
+	return &plan{seed: seed, col: activeCollector, prefix: activePrefix}
+}
 
 // unit declares one replication and returns its index into the reduce
 // outputs.
@@ -135,12 +164,30 @@ func (p *plan) unit(key string, run func(seed int64) (any, error)) int {
 	return len(p.units) - 1
 }
 
+// recorder returns the trace recorder for the unit about to be
+// declared, or nil when the plan is untraced. The key embeds the unit
+// index, so collector keys are unique and sort in declaration order.
+func (p *plan) recorder(key string) *obs.Recorder {
+	if p.col == nil {
+		return nil
+	}
+	return p.col.Unit(fmt.Sprintf("%s/%04d %s", p.prefix, len(p.units), key))
+}
+
+// tunit declares one traceable replication: run receives the unit's
+// recorder (nil when untraced), resolved at declaration time.
+func (p *plan) tunit(key string, run func(seed int64, rec *obs.Recorder) (any, error)) int {
+	rec := p.recorder(key)
+	return p.unit(key, func(seed int64) (any, error) { return run(seed, rec) })
+}
+
 // session declares one training session on a fresh kernel; the engine
 // supplies the session seed. The unit output is the train.Result.
 func (p *plan) session(key string, cfg train.Config) int {
-	return p.unit(key, func(seed int64) (any, error) {
+	return p.tunit(key, func(seed int64, rec *obs.Recorder) (any, error) {
 		cfg := cfg
 		cfg.Seed = seed
+		cfg.Trace = rec
 		return runSession(cfg)
 	})
 }

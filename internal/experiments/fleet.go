@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/fleet"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // The fleet experiment compares admission policies on a shared,
@@ -102,8 +103,8 @@ func planFleet(seed int64) *campaign.Plan {
 					WorkloadSeed: campaign.Derive(seed, uint64(rep), "fleet/workload/"+regime.name),
 				}
 				simSeed := campaign.Derive(seed, uint64(rep), "fleet/sim/"+regime.name)
-				p.unit(fmt.Sprintf("fleet/%s/%s/rep%d", regime.name, sched, rep), func(int64) (any, error) {
-					res, err := fleet.Run(cfg, simSeed)
+				p.tunit(fmt.Sprintf("fleet/%s/%s/rep%d", regime.name, sched, rep), func(_ int64, rec *obs.Recorder) (any, error) {
+					res, err := fleet.RunTraced(cfg, simSeed, rec)
 					if err != nil {
 						return nil, err
 					}

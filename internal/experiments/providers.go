@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/fleet"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // The providers experiment asks the cross-market question the paper's
@@ -97,8 +98,8 @@ func planProviders(seed int64) *campaign.Plan {
 					WorkloadSeed: campaign.Derive(seed, uint64(rep), "providers/workload/"+regime.name),
 				}
 				simSeed := campaign.Derive(seed, uint64(rep), "providers/sim/"+regime.name)
-				p.unit(fmt.Sprintf("providers/%s/%s/rep%d", regime.name, fl.name, rep), func(int64) (any, error) {
-					res, err := fleet.Run(cfg, simSeed)
+				p.tunit(fmt.Sprintf("providers/%s/%s/rep%d", regime.name, fl.name, rep), func(_ int64, rec *obs.Recorder) (any, error) {
+					res, err := fleet.RunTraced(cfg, simSeed, rec)
 					if err != nil {
 						return nil, err
 					}

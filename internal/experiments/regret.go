@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/fleet"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -134,8 +135,8 @@ func planRegret(seed int64) *campaign.Plan {
 					WorkloadSeed: campaign.Derive(seed, uint64(rep), "regret/workload/"+regime.name),
 				}
 				simSeed := campaign.Derive(seed, uint64(rep), "regret/sim/"+regime.name)
-				p.unit(fmt.Sprintf("regret/%s/%s/rep%d", regime.name, sched, rep), func(int64) (any, error) {
-					res, err := fleet.Run(cfg, simSeed)
+				p.tunit(fmt.Sprintf("regret/%s/%s/rep%d", regime.name, sched, rep), func(_ int64, rec *obs.Recorder) (any, error) {
+					res, err := fleet.RunTraced(cfg, simSeed, rec)
 					if err != nil {
 						return nil, err
 					}

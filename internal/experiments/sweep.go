@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/train"
@@ -214,6 +215,9 @@ type SessionOptions struct {
 	ParameterServers int
 	Replacement      manager.ReplacementPolicy
 	DelaySeconds     float64
+	// Trace, when non-nil, receives the session's sim-plane timeline
+	// (manager.Config.Trace); tracing never perturbs the measurement.
+	Trace *obs.Recorder
 }
 
 // runScenario measures one scenario with a full managed session on a
@@ -275,6 +279,7 @@ func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts 
 		Batch:              batch,
 		Elastic:            sc.Elastic,
 		Seed:               seed + 1,
+		Trace:              opts.Trace,
 	})
 	if err != nil {
 		return ScenarioOutcome{}, err
@@ -316,8 +321,8 @@ func (s SweepSpec) Plan(seed int64) *campaign.Plan {
 	scenarios := s.Scenarios()
 	for _, sc := range scenarios {
 		steps := s.StepsPerWorker * int64(sc.Workers)
-		p.unit("sweep/"+sc.Label(), func(unitSeed int64) (any, error) {
-			return runScenario(sc, steps, s.CheckpointInterval, SessionOptions{}, unitSeed)
+		p.tunit("sweep/"+sc.Label(), func(unitSeed int64, rec *obs.Recorder) (any, error) {
+			return runScenario(sc, steps, s.CheckpointInterval, SessionOptions{Trace: rec}, unitSeed)
 		})
 	}
 	return p.build(func(outs []any) (Result, error) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -290,6 +291,11 @@ type fleetSim struct {
 
 	admitting bool
 	err       error
+
+	// trace, when non-nil, receives the run's sim-plane timeline: the
+	// fleet's own job lifecycle events plus each job session's events
+	// under a "jobN" scope.
+	trace *obs.Recorder
 }
 
 // marketFor resolves a placement's market name; empty means the first
@@ -355,13 +361,20 @@ func (v marketView) Observed() *History { return v.f.history }
 // pure function of (cfg, seed): one kernel, one thread, no wall-clock
 // input.
 func Run(cfg Config, seed int64) (*Result, error) {
+	return RunTraced(cfg, seed, nil)
+}
+
+// RunTraced is Run with a sim-plane trace recorder attached (nil means
+// untraced — identical to Run). Recording draws no randomness and
+// schedules no events, so the Result is byte-identical either way.
+func RunTraced(cfg Config, seed int64, rec *obs.Recorder) (*Result, error) {
 	sched, plans, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
 	names := cfg.providerNames()
 	k := &sim.Kernel{}
-	f := &fleetSim{cfg: cfg, k: k, sched: sched, seed: seed, history: &History{}}
+	f := &fleetSim{cfg: cfg, k: k, sched: sched, seed: seed, history: &History{}, trace: rec}
 	for i, plan := range plans {
 		// The first market draws from stats.NewRng(seed) directly — the
 		// exact stream the pre-market fleet used, so single-market runs
@@ -412,6 +425,11 @@ func (f *fleetSim) arrive(job *Job) {
 		return
 	}
 	f.queue = append(f.queue, job)
+	f.trace.Record(obs.Event{
+		T:      f.k.Now().Seconds(),
+		Kind:   "job-arrive",
+		Detail: job.Spec.Label(),
+	})
 	f.admit()
 }
 
@@ -504,6 +522,7 @@ func (f *fleetSim) start(job *Job, pl Placement) {
 		TargetSteps:        job.Spec.Steps,
 		CheckpointInterval: job.Spec.CheckpointInterval,
 		Seed:               campaign.Derive(f.seed, uint64(job.Spec.ID), "fleet/job"),
+		Trace:              f.trace.Scoped(fmt.Sprintf("job%d", job.Spec.ID)),
 	}
 	if name := f.cfg.elasticName(); name != "static" {
 		mcfg.Elastic = name
@@ -521,6 +540,11 @@ func (f *fleetSim) start(job *Job, pl Placement) {
 	job.placement = pl
 	job.admittedAt = f.k.Now()
 	job.sess = sess
+	f.trace.Record(obs.Event{
+		T:      f.k.Now().Seconds(),
+		Kind:   "job-place",
+		Detail: fmt.Sprintf("%s @ %s", job.Spec.Label(), pl.Label()),
+	})
 	sess.Cluster().WhenStep(job.Spec.Steps, func() { f.finish(job) })
 }
 
@@ -530,6 +554,11 @@ func (f *fleetSim) start(job *Job, pl Placement) {
 func (f *fleetSim) finish(job *Job) {
 	job.state = jobFinished
 	job.endedAt = f.k.Now()
+	f.trace.Record(obs.Event{
+		T:      f.k.Now().Seconds(),
+		Kind:   "job-done",
+		Detail: job.Spec.Label(),
+	})
 	f.observe(job)
 	f.admit()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // This file is the controller's elastic-resize layer: a session can
@@ -188,12 +189,20 @@ func (s *Session) shrinkIfRisky(atHours float64) bool {
 		return false
 	}
 	delete(s.instances, victim.ID)
-	if name, ok := s.instWorker[victim.ID]; ok {
+	name := s.instWorker[victim.ID]
+	if name != "" {
 		delete(s.instWorker, victim.ID)
 		_ = s.cluster.RemoveWorker(name)
 	}
 	s.provider.Terminate(victim)
 	s.shrinks++
+	s.cfg.Trace.Record(obs.Event{
+		T:      s.provider.Now().Seconds(),
+		Kind:   "elastic-shrink",
+		Worker: name,
+		Risk:   worst,
+		Detail: fmt.Sprintf("%v/%v", victim.Region, victim.GPU),
+	})
 	return true
 }
 
@@ -232,6 +241,12 @@ func (s *Session) growIfClear(atHours float64) {
 		panic(fmt.Sprintf("manager: elastic grow failed: %v", err))
 	}
 	s.grows++
+	s.cfg.Trace.Record(obs.Event{
+		T:      s.provider.Now().Seconds(),
+		Kind:   "elastic-grow",
+		Risk:   bestRisk,
+		Detail: fmt.Sprintf("%v/%v", best.Region, best.GPU),
+	})
 }
 
 // growthCells lists the distinct transient (region, GPU) cells of the

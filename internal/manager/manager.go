@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -88,6 +89,12 @@ type Config struct {
 	Risk RiskSignal
 
 	Seed int64
+
+	// Trace, when non-nil, receives the session's sim-plane timeline:
+	// the cluster's own events plus the manager layer's (worker
+	// startups, replacements, elastic resize decisions with the risk
+	// that triggered them). Tracing never perturbs the simulation.
+	Trace *obs.Recorder
 }
 
 // validate rejects impossible configurations and fills defaults. The
@@ -186,6 +193,7 @@ func NewSession(p *cloud.Provider, cfg Config) (*Session, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		Batch:              cfg.Batch,
 		Seed:               cfg.Seed,
+		Trace:              cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -328,6 +336,12 @@ func (s *Session) workerUp(in *cloud.Instance, pl Placement) {
 	}
 	name := s.joinWorker(pl)
 	s.instWorker[in.ID] = name
+	s.cfg.Trace.Record(obs.Event{
+		T:      s.provider.Now().Seconds(),
+		Kind:   "startup",
+		Worker: name,
+		Value:  float64(in.RunningAt - in.RequestedAt),
+	})
 }
 
 // joinWorker starts the cluster on first join and adds the worker
@@ -418,11 +432,22 @@ func (s *Session) replace(pl Placement, delay float64) {
 		err := s.requestWorker(pl)
 		switch {
 		case err == nil:
+			s.cfg.Trace.Record(obs.Event{
+				T:      s.provider.Now().Seconds(),
+				Kind:   "replace",
+				Detail: fmt.Sprintf("%v/%v", pl.Region, pl.GPU),
+			})
 		case errors.Is(err, cloud.ErrNoCapacity):
 			retry := capacityRetryCalmSeconds
 			if s.provider.Churning(pl.Region) {
 				retry = capacityRetryChurnSeconds
 			}
+			s.cfg.Trace.Record(obs.Event{
+				T:      s.provider.Now().Seconds(),
+				Kind:   "replace-blocked",
+				Value:  float64(retry),
+				Detail: fmt.Sprintf("%v/%v", pl.Region, pl.GPU),
+			})
 			s.provider.Kernel().After(float64(retry), launch)
 		default:
 			// Other replacement failures mean an invalid placement,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // maxFleetJobs bounds one fleet query's workload; a fleet run is one
@@ -52,6 +53,12 @@ type FleetQuery struct {
 	// while varying cloud randomness.
 	WorkloadSeed int64 `json:"workload_seed,omitempty"`
 	Seed         int64 `json:"seed"`
+	// Trace opts in to the sim-plane event trace: one trace line per
+	// event streams between the job lines and the summary. Tracing
+	// never perturbs the simulation — traced and untraced fleet
+	// results are numerically identical; traced results are cached
+	// separately.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // config validates the query into a fleet config.
@@ -105,11 +112,16 @@ func fleetCacheKey(cfg fleet.Config, seed int64) string {
 	return fmt.Sprintf("%s|seed=%d", cfg.Key(), seed)
 }
 
-// FleetItem is one NDJSON line of a fleet response: either one job's
-// outcome or the trailing summary.
+// FleetItem is one NDJSON line of a fleet response: one job's outcome,
+// one sim-plane trace event (traced queries only), or the trailing
+// summary.
 type FleetItem struct {
-	// Job is one per-job line; nil on the summary line.
+	// Job is one per-job line; nil on trace and summary lines.
 	Job *fleet.JobResult `json:"job,omitempty"`
+	// Trace is one sim-plane event, scoped by the job that emitted it;
+	// trace lines stream between the job lines and the summary when
+	// the query set trace.
+	Trace *obs.Event `json:"trace,omitempty"`
 	// Summary is the final aggregate line: the fleet result with its
 	// per-job list stripped (the jobs were already streamed).
 	Summary *FleetSummary `json:"summary,omitempty"`
@@ -144,15 +156,34 @@ func (p *Planner) Fleet(ctx context.Context, q FleetQuery, emit func(FleetItem) 
 		return &BadRequestError{err}
 	}
 	key := fleetCacheKey(cfg, q.Seed)
-	v, cached, err := p.cached(ctx, key, func() (any, error) {
-		return p.simulateFleet(ctx, cfg, q.Seed)
-	})
-	if err != nil {
-		return err
+	var res *fleet.Result
+	var events []obs.Event
+	var cached bool
+	if q.Trace {
+		v, c, err := p.cached(ctx, key+"|trace=1", func() (any, error) {
+			return p.simulateFleetTraced(ctx, cfg, q.Seed)
+		})
+		if err != nil {
+			return err
+		}
+		tf := v.(tracedFleet)
+		res, events, cached = tf.res, tf.events, c
+	} else {
+		v, c, err := p.cached(ctx, key, func() (any, error) {
+			return p.simulateFleet(ctx, cfg, q.Seed)
+		})
+		if err != nil {
+			return err
+		}
+		res, cached = v.(*fleet.Result), c
 	}
-	res := v.(*fleet.Result)
 	for i := range res.Jobs {
 		if err := emit(FleetItem{Job: &res.Jobs[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		if err := emit(FleetItem{Trace: &events[i]}); err != nil {
 			return err
 		}
 	}
@@ -185,6 +216,8 @@ func (p *Planner) simulateFleet(ctx context.Context, cfg fleet.Config, seed int6
 		Units: []campaign.Unit{{
 			Key: cfg.Key(),
 			Run: func(unitSeed int64) (any, error) {
+				p.inflight.Add(1)
+				defer p.inflight.Add(-1)
 				return p.runFleet(cfg, unitSeed)
 			},
 		}},
@@ -194,4 +227,37 @@ func (p *Planner) simulateFleet(ctx context.Context, cfg fleet.Config, seed int6
 		return nil, err
 	}
 	return v.([]any)[0].(*fleet.Result), nil
+}
+
+// tracedFleet is what the cache stores for a traced fleet query.
+type tracedFleet struct {
+	res    *fleet.Result
+	events []obs.Event
+}
+
+// simulateFleetTraced is simulateFleet with the sim-plane recorder
+// attached. The unit Key is identical to simulateFleet's, so the
+// derived simulation seed — and the result — is exactly the untraced
+// query's; only the cache key differs.
+func (p *Planner) simulateFleetTraced(ctx context.Context, cfg fleet.Config, seed int64) (tracedFleet, error) {
+	plan := &campaign.Plan{
+		Seed: seed,
+		Units: []campaign.Unit{{
+			Key: cfg.Key(),
+			Run: func(unitSeed int64) (any, error) {
+				p.inflight.Add(1)
+				defer p.inflight.Add(-1)
+				res, events, err := p.runFleetTraced(cfg, unitSeed)
+				if err != nil {
+					return nil, err
+				}
+				return tracedFleet{res: res, events: events}, nil
+			},
+		}},
+	}
+	v, err := campaign.Engine{Pool: p.pool}.RunContext(ctx, plan)
+	if err != nil {
+		return tracedFleet{}, err
+	}
+	return v.([]any)[0].(tracedFleet), nil
 }

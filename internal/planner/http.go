@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/experiments"
@@ -16,30 +17,51 @@ import (
 // Handler serves the planner's HTTP/JSON API:
 //
 //	GET  /healthz      liveness
-//	GET  /v1/stats     cache and coalescing counters
+//	GET  /metrics      Prometheus text exposition (service plane)
+//	GET  /v1/stats     cache, coalescing, and pool counters
 //	GET  /v1/catalog   models, GPUs, regions, tiers, experiment IDs
 //	POST /v1/estimate  analytic Eq. 4/5 estimate for one scenario
-//	POST /v1/measure   one measured session (cached, coalesced)
+//	POST /v1/measure   one measured session (cached, coalesced);
+//	                   "trace":true adds the sim-plane event timeline
 //	POST /v1/sweep     measure a grid; streams NDJSON, one line per cell
 //	POST /v1/cheapest  cheapest grid cell meeting a deadline
 //	POST /v1/fleet     multi-job fleet simulation on a shared
 //	                   capacity-constrained pool; streams NDJSON, one
-//	                   line per job plus an aggregate summary
+//	                   line per job plus an aggregate summary;
+//	                   "trace":true streams event lines before the
+//	                   summary
 //
 // Every request runs under its own context: a client that disconnects
-// cancels the scenarios it had not yet dispatched.
+// cancels the scenarios it had not yet dispatched. Every endpoint's
+// latency lands in the pland_http_request_seconds histogram.
 func (p *Planner) Handler() http.Handler {
+	reg := p.Metrics()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// timed wraps a handler with its endpoint's latency histogram; the
+	// child is captured here, at wiring time, so the request path never
+	// touches the vec's lock.
+	timed := func(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+		hist := p.httpLatency.With(endpoint)
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.Observe(time.Since(start).Seconds())
+		}
+	}
+	mux.HandleFunc("GET /healthz", timed("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]bool{"ok": true})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /metrics", timed("metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	}))
+	mux.HandleFunc("GET /v1/stats", timed("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.Stats())
-	})
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/catalog", timed("catalog", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, catalog())
-	})
-	mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/estimate", timed("estimate", func(w http.ResponseWriter, r *http.Request) {
 		var q ScenarioQuery
 		if !decode(w, r, &q) {
 			return
@@ -50,8 +72,8 @@ func (p *Planner) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, res)
-	})
-	mux.HandleFunc("POST /v1/measure", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/measure", timed("measure", func(w http.ResponseWriter, r *http.Request) {
 		var q ScenarioQuery
 		if !decode(w, r, &q) {
 			return
@@ -62,8 +84,8 @@ func (p *Planner) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, res)
-	})
-	mux.HandleFunc("POST /v1/cheapest", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/cheapest", timed("cheapest", func(w http.ResponseWriter, r *http.Request) {
 		var q CheapestQuery
 		if !decode(w, r, &q) {
 			return
@@ -74,8 +96,8 @@ func (p *Planner) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, res)
-	})
-	mux.HandleFunc("POST /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/fleet", timed("fleet", func(w http.ResponseWriter, r *http.Request) {
 		var q FleetQuery
 		if !decode(w, r, &q) {
 			return
@@ -104,8 +126,8 @@ func (p *Planner) Handler() http.Handler {
 		if err != nil && !wrote {
 			writeErr(w, err)
 		}
-	})
-	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/sweep", timed("sweep", func(w http.ResponseWriter, r *http.Request) {
 		var q SweepQuery
 		if !decode(w, r, &q) {
 			return
@@ -129,7 +151,7 @@ func (p *Planner) Handler() http.Handler {
 			}
 			return nil
 		})
-	})
+	}))
 	return mux
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Per-query bounds: a single request may not fan out wider than the
@@ -60,8 +61,8 @@ type Config struct {
 	CacheSize int
 }
 
-// Stats is a point-in-time snapshot of the planner's cache and
-// coalescing counters.
+// Stats is a point-in-time snapshot of the planner's cache,
+// coalescing, and pool-utilization counters.
 type Stats struct {
 	// Hits counts queries answered straight from the cache.
 	Hits int64 `json:"hits"`
@@ -74,6 +75,23 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	// CacheEntries is the current cache population.
 	CacheEntries int `json:"cache_entries"`
+	// InFlight is how many simulation units are executing right now.
+	InFlight int64 `json:"in_flight"`
+	// Rejections counts queries that returned without an answer
+	// because their measurement was interrupted (canceled client,
+	// pool shutdown) rather than failing on its own terms.
+	Rejections int64 `json:"rejections"`
+	// PoolWorkers is the shared pool's fixed worker count;
+	// QueueCapacity its admission queue size; QueueDepth the jobs
+	// waiting in that queue right now.
+	PoolWorkers   int `json:"pool_workers"`
+	QueueCapacity int `json:"queue_capacity"`
+	QueueDepth    int `json:"queue_depth"`
+	// PoolJobsRun counts completed pool jobs; PoolWaitSeconds and
+	// PoolBusySeconds total their queue wait and execution wall time.
+	PoolJobsRun     int64   `json:"pool_jobs_run"`
+	PoolWaitSeconds float64 `json:"pool_wait_seconds"`
+	PoolBusySeconds float64 `json:"pool_busy_seconds"`
 }
 
 // Planner answers scenario queries on a shared simulation pool.
@@ -83,6 +101,7 @@ type Planner struct {
 	flights flightGroup
 
 	hits, misses, coalesced, evictions atomic.Int64
+	inflight, rejections               atomic.Int64
 
 	// measure runs one scenario simulation; swapped out by tests to
 	// count and stub runs.
@@ -90,6 +109,19 @@ type Planner struct {
 	// runFleet runs one fleet simulation; swapped out by tests, like
 	// measure.
 	runFleet func(cfg fleet.Config, seed int64) (*fleet.Result, error)
+	// measureTraced and runFleetTraced are the trace-opt-in variants:
+	// the same simulations run with a sim-plane recorder attached,
+	// returning the events alongside the result. Swapped out by tests,
+	// like measure and runFleet.
+	measureTraced  func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, []obs.Event, error)
+	runFleetTraced func(cfg fleet.Config, seed int64) (*fleet.Result, []obs.Event, error)
+
+	// Service-plane metrics, built lazily by Metrics(): func-metrics
+	// over the atomics above plus the per-endpoint latency histograms
+	// the HTTP layer feeds.
+	metricsOnce sync.Once
+	registry    *obs.Registry
+	httpLatency *obs.HistogramVec
 
 	analytic analytic
 }
@@ -109,6 +141,16 @@ func New(cfg Config) *Planner {
 			return experiments.MeasureScenario(sc, steps, ic, experiments.SessionOptions{}, seed)
 		},
 		runFleet: fleet.Run,
+		measureTraced: func(sc experiments.Scenario, steps, ic, seed int64) (experiments.ScenarioOutcome, []obs.Event, error) {
+			rec := obs.NewRecorder()
+			out, err := experiments.MeasureScenario(sc, steps, ic, experiments.SessionOptions{Trace: rec}, seed)
+			return out, rec.Events(), err
+		},
+		runFleetTraced: func(cfg fleet.Config, seed int64) (*fleet.Result, []obs.Event, error) {
+			rec := obs.NewRecorder()
+			res, err := fleet.RunTraced(cfg, seed, rec)
+			return res, rec.Events(), err
+		},
 	}
 }
 
@@ -117,12 +159,21 @@ func (p *Planner) Close() { p.pool.Close() }
 
 // Stats snapshots the counters.
 func (p *Planner) Stats() Stats {
+	ps := p.pool.Stats()
 	return Stats{
-		Hits:         p.hits.Load(),
-		Misses:       p.misses.Load(),
-		Coalesced:    p.coalesced.Load(),
-		Evictions:    p.evictions.Load(),
-		CacheEntries: p.cache.Len(),
+		Hits:            p.hits.Load(),
+		Misses:          p.misses.Load(),
+		Coalesced:       p.coalesced.Load(),
+		Evictions:       p.evictions.Load(),
+		CacheEntries:    p.cache.Len(),
+		InFlight:        p.inflight.Load(),
+		Rejections:      p.rejections.Load(),
+		PoolWorkers:     ps.Workers,
+		QueueCapacity:   ps.QueueCapacity,
+		QueueDepth:      ps.QueueDepth,
+		PoolJobsRun:     ps.JobsRun,
+		PoolWaitSeconds: ps.WaitSeconds,
+		PoolBusySeconds: ps.BusySeconds,
 	}
 }
 
@@ -197,6 +248,12 @@ func (p *Planner) cached(ctx context.Context, key string, run func() (any, error
 				continue
 			}
 		}
+		// A query leaving without an answer because its measurement
+		// never completed (canceled client, shutdown) is a rejection;
+		// a scenario that ran and failed on its own terms is not.
+		if err != nil && interruptedError(err) {
+			p.rejections.Add(1)
+		}
 		return v, leaderHit, err
 	}
 }
@@ -210,6 +267,8 @@ func (p *Planner) simulate(ctx context.Context, sc experiments.Scenario, steps, 
 		Units: []campaign.Unit{{
 			Key: experiments.ScenarioKey(sc, steps, ic),
 			Run: func(unitSeed int64) (any, error) {
+				p.inflight.Add(1)
+				defer p.inflight.Add(-1)
 				return p.measure(sc, steps, ic, unitSeed)
 			},
 		}},
@@ -219,6 +278,40 @@ func (p *Planner) simulate(ctx context.Context, sc experiments.Scenario, steps, 
 		return experiments.ScenarioOutcome{}, err
 	}
 	return v.([]any)[0].(experiments.ScenarioOutcome), nil
+}
+
+// tracedOutcome is what the cache stores for a traced scenario query:
+// the outcome plus its sim-plane event trace.
+type tracedOutcome struct {
+	out    experiments.ScenarioOutcome
+	events []obs.Event
+}
+
+// simulateTraced is simulate with the sim-plane recorder attached. The
+// unit Key is identical to simulate's, so the derived simulation seed
+// — and therefore the outcome — is exactly the untraced query's;
+// only the cache key (the "|trace=1" suffix) differs.
+func (p *Planner) simulateTraced(ctx context.Context, sc experiments.Scenario, steps, ic, seed int64) (tracedOutcome, error) {
+	plan := &campaign.Plan{
+		Seed: seed,
+		Units: []campaign.Unit{{
+			Key: experiments.ScenarioKey(sc, steps, ic),
+			Run: func(unitSeed int64) (any, error) {
+				p.inflight.Add(1)
+				defer p.inflight.Add(-1)
+				out, events, err := p.measureTraced(sc, steps, ic, unitSeed)
+				if err != nil {
+					return nil, err
+				}
+				return tracedOutcome{out: out, events: events}, nil
+			},
+		}},
+	}
+	v, err := campaign.Engine{Pool: p.pool}.RunContext(ctx, plan)
+	if err != nil {
+		return tracedOutcome{}, err
+	}
+	return v.([]any)[0].(tracedOutcome), nil
 }
 
 // Outcome is the wire form of one measured scenario.
@@ -235,6 +328,11 @@ type Outcome struct {
 	Replacements      int     `json:"replacements"`
 	CostPer1kSteps    float64 `json:"cost_per_1k_steps"`
 	Cached            bool    `json:"cached"`
+	// Trace is the session's sim-plane event trace, present only when
+	// the query opted in. Sim-time-stamped and a pure function of
+	// (scenario key, seed): the traced outcome's numbers are identical
+	// to the untraced query's.
+	Trace []obs.Event `json:"trace,omitempty"`
 }
 
 func wireOutcome(o experiments.ScenarioOutcome, steps, ic, seed int64, cached bool) Outcome {
@@ -288,6 +386,11 @@ type ScenarioQuery struct {
 	// CheckpointInterval is Ic in steps (0: 1000).
 	CheckpointInterval int64 `json:"checkpoint_interval"`
 	Seed               int64 `json:"seed"`
+	// Trace opts in to the sim-plane event trace: the outcome gains a
+	// trace field with the session's event timeline. Tracing never
+	// perturbs the simulation, so traced and untraced outcomes are
+	// numerically identical; traced results are cached separately.
+	Trace bool `json:"trace,omitempty"`
 }
 
 func (q ScenarioQuery) scenario() (experiments.Scenario, int64, int64, error) {
@@ -374,11 +477,25 @@ func resolveCheckpointInterval(ic int64) (int64, error) {
 }
 
 // Measure answers a single-scenario query with a full measured session
-// (cached, coalesced).
+// (cached, coalesced). A traced query runs the identical simulation
+// with the recorder attached and caches under its own key.
 func (p *Planner) Measure(ctx context.Context, q ScenarioQuery) (Outcome, error) {
 	sc, steps, ic, err := q.scenario()
 	if err != nil {
 		return Outcome{}, &BadRequestError{err}
+	}
+	if q.Trace {
+		key := cacheKey(sc, steps, ic, q.Seed) + "|trace=1"
+		v, cached, err := p.cached(ctx, key, func() (any, error) {
+			return p.simulateTraced(ctx, sc, steps, ic, q.Seed)
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		to := v.(tracedOutcome)
+		w := wireOutcome(to.out, steps, ic, q.Seed, cached)
+		w.Trace = to.events
+		return w, nil
 	}
 	out, cached, err := p.measureCached(ctx, sc, steps, ic, q.Seed)
 	if err != nil {

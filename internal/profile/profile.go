@@ -42,6 +42,12 @@ type Tracker struct {
 	samples    []SpeedSample
 
 	perWorker map[string]*workerStats
+
+	// OnSample, when set, is called synchronously with each new speed
+	// sample as the window closes — the hook the trace recorder uses to
+	// fold windowed speeds into the event timeline. It must not call
+	// back into the tracker.
+	OnSample func(SpeedSample)
 }
 
 type workerStats struct {
@@ -88,8 +94,12 @@ func (t *Tracker) RecordGlobalStep(now float64) {
 		if elapsed > 0 {
 			speed = float64(t.window) / elapsed
 		}
-		t.samples = append(t.samples, SpeedSample{Step: t.globalDone, Time: now, Speed: speed})
+		s := SpeedSample{Step: t.globalDone, Time: now, Speed: speed}
+		t.samples = append(t.samples, s)
 		t.windowTime = now
+		if t.OnSample != nil {
+			t.OnSample(s)
+		}
 	}
 }
 

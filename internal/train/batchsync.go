@@ -1,7 +1,11 @@
 package train
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // This file is the synchronous dynamic-batching mode (Config.Batch):
@@ -53,6 +57,23 @@ func (c *Cluster) rebalance() {
 	shares := model.BatchShares(c.cfg.Batch.GlobalBatch, weights, c.cfg.Batch.minShare(), c.cfg.Batch.maxShare())
 	for i, name := range live {
 		c.shares[name] = shares[i]
+	}
+	if c.cfg.Trace != nil {
+		// Detail iterates the live join order, never the shares map, so
+		// the rendered string is deterministic.
+		var b strings.Builder
+		for i, name := range live {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", name, shares[i])
+		}
+		c.cfg.Trace.Record(obs.Event{
+			T:      c.k.Now().Seconds(),
+			Kind:   "rebalance",
+			Step:   c.globalStep,
+			Detail: b.String(),
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -114,6 +115,14 @@ func NewCluster(k *sim.Kernel, cfg Config) (*Cluster, error) {
 		chiefHandoff: true,
 		stepHooks:    make(map[int64][]func()),
 		tracker:      profile.NewTracker(cfg.SpeedWindowSteps),
+	}
+	if cfg.Trace != nil {
+		// Fold the tracker's windowed speed samples into the trace
+		// timeline as the paper's performance tracker would log them.
+		trace := cfg.Trace
+		c.tracker.OnSample = func(s profile.SpeedSample) {
+			trace.Record(obs.Event{T: s.Time, Kind: "speed", Step: s.Step, Value: s.Speed})
+		}
 	}
 	for i := 0; i < cfg.ParameterServers; i++ {
 		c.shards = append(c.shards, sim.NewServer(k))
@@ -352,13 +361,20 @@ func (c *Cluster) rollback() {
 	c.globalStep = c.lastCkptStep
 }
 
-// addEvent appends a timeline entry at the current time and step.
+// addEvent appends a timeline entry at the current time and step, and
+// mirrors it onto the trace recorder when one is attached.
 func (c *Cluster) addEvent(kind EventKind, worker string) {
 	c.events = append(c.events, Event{
 		Kind:   kind,
 		Time:   c.k.Now().Seconds(),
 		Step:   c.globalStep,
 		Worker: worker,
+	})
+	c.cfg.Trace.Record(obs.Event{
+		T:      c.k.Now().Seconds(),
+		Kind:   kind.String(),
+		Worker: worker,
+		Step:   c.globalStep,
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // WorkerSpec places one GPU worker in the cluster.
@@ -110,6 +111,12 @@ type Config struct {
 	Batch *BatchPolicy
 	// Seed drives all randomness in the session.
 	Seed int64
+	// Trace, when non-nil, receives the session's sim-plane event
+	// timeline (checkpoints, revocations, joins, rebalances, windowed
+	// speed samples). Recording draws no randomness and schedules no
+	// events, so a traced session's results are byte-identical to an
+	// untraced one's.
+	Trace *obs.Recorder
 }
 
 // validate normalizes defaults and rejects impossible configurations.

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Metrics-endpoint smoke check: start a live pland, burst a few
+# /v1/measure queries at it (one repeated, so the cache sees both a
+# miss and hits), then scrape GET /metrics and fail on any line that
+# breaks the Prometheus text exposition grammar (0.0.4) or on a
+# missing series. This is the wire-level twin of the in-process
+# exposition tests in internal/obs and internal/planner.
+# Usage: check_metrics.sh [addr]   (default 127.0.0.1:8663)
+set -eu
+
+addr=${1:-127.0.0.1:8663}
+cd "$(dirname "$0")/.."
+
+bin=${TMPDIR:-/tmp}/pland_check.$$
+out=${TMPDIR:-/tmp}/pland_metrics.$$
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -f "$bin" "$out"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/pland
+"$bin" -addr "$addr" -workers 2 -queue 8 &
+pid=$!
+
+# Wait for the daemon to come up.
+i=0
+until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && { echo "pland did not come up on $addr" >&2; exit 1; }
+    sleep 0.2
+done
+
+# A small burst: one scenario measured, then repeated (cache hit), and
+# a second distinct scenario — enough traffic to populate cache,
+# queue, pool, and latency series.
+q1='{"model":"ResNet-15","gpu":"K80","region":"us-central1","tier":"on-demand","workers":1,"target_steps":200,"seed":5}'
+q2='{"model":"ResNet-15","gpu":"K80","region":"us-central1","tier":"on-demand","workers":2,"target_steps":200,"seed":5}'
+curl -sf "http://$addr/v1/measure" -d "$q1" >/dev/null
+curl -sf "http://$addr/v1/measure" -d "$q1" >/dev/null
+curl -sf "http://$addr/v1/measure" -d "$q2" >/dev/null
+
+curl -sf "http://$addr/metrics" >"$out"
+
+# Every line must be a HELP/TYPE header or a well-formed sample.
+bad=$(grep -cvE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf|NaN))$' "$out" || true)
+if [ "$bad" -ne 0 ]; then
+    echo "malformed exposition lines:" >&2
+    grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf|NaN))$' "$out" >&2
+    exit 1
+fi
+
+# The acceptance series: cache, queue, latency, pool utilization —
+# populated, not merely present.
+status=0
+require() {
+    if ! grep -qE "$1" "$out"; then
+        echo "metrics output missing: $1" >&2
+        status=1
+    fi
+}
+require '^pland_cache_hits_total [1-9]'
+require '^pland_cache_misses_total [1-9]'
+require '^pland_cache_entries [1-9]'
+require '^pland_pool_queue_depth [0-9]'
+require '^pland_pool_jobs_total [1-9]'
+require '^pland_pool_busy_seconds_total [0-9]'
+require '^pland_sims_inflight [0-9]'
+require 'pland_http_request_seconds_bucket\{endpoint="measure",le="\+Inf"\} [1-9]'
+require 'pland_http_request_seconds_count\{endpoint="measure"\} [1-9]'
+if [ "$status" -eq 0 ]; then
+    echo "metrics endpoint well-formed with all acceptance series populated"
+fi
+exit $status
