@@ -13,6 +13,7 @@
 //	repro -exp all [-seed 42] [-parallel 8]
 //	repro -exp all -trace-out trace.ndjson   # sim-plane event trace
 //	repro -exp all -timing-out timing.json   # per-unit wall timing
+//	repro -exp sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 //	repro -exp revmodels   # extras run individually, outside "all"
 //	repro -exp fleet       # multi-job scheduler comparison (extra)
 //	repro -exp regret      # schedulers vs clairvoyant oracle (extra)
@@ -46,6 +47,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -61,14 +63,51 @@ func main() {
 
 func run() int {
 	var (
-		exp       = flag.String("exp", "", "experiment id to run, or 'all'")
-		seed      = flag.Int64("seed", 42, "base random seed")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for campaign replications")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		traceOut  = flag.String("trace-out", "", "write the sim-plane event trace (NDJSON, deterministic) to this file")
-		timingOut = flag.String("timing-out", "", "write per-unit wall-clock timings (JSON) to this file")
+		exp        = flag.String("exp", "", "experiment id to run, or 'all'")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for campaign replications")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		traceOut   = flag.String("trace-out", "", "write the sim-plane event trace (NDJSON, deterministic) to this file")
+		timingOut  = flag.String("timing-out", "", "write per-unit wall-clock timings (JSON) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiles are the service plane's service plane: they observe the
+	// process, never the simulation, so enabling them cannot perturb
+	// any experiment output.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live + cumulative allocs cleanly
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

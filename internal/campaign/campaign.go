@@ -33,6 +33,12 @@ type Unit struct {
 	Key string
 	// Run executes the replication with the derived seed.
 	Run func(seed int64) (any, error)
+	// RunScratch, when set, runs the replication with a pooled
+	// per-worker scratch arena and takes precedence over Run. The
+	// arena is exclusively the unit's for the duration of the call;
+	// anything borrowed from it must not escape into the unit's output
+	// (see Scratch).
+	RunScratch func(seed int64, s *Scratch) (any, error)
 }
 
 // Plan is a declared campaign: a base seed, an ordered list of
@@ -461,6 +467,14 @@ func runUnit(u Unit, seed int64) (out any, err error) {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
+	if u.RunScratch != nil {
+		s := scratchPool.Get().(*Scratch)
+		// Return the arena even when the unit panics: its buffers are
+		// reset before reuse, so a half-written arena is harmless.
+		defer scratchPool.Put(s)
+		s.Reset()
+		return u.RunScratch(seed, s)
+	}
 	return u.Run(seed)
 }
 

@@ -1,0 +1,47 @@
+// Per-worker scratch arenas: the allocation-recycling half of the
+// campaign layer. A campaign's cost model is "many small independent
+// replications", and the temporaries each replication needs — result
+// series being reduced to scalars, ECDF sort buffers, stats
+// accumulators — all die the moment its unit returns. Scratch-aware
+// units borrow that memory from a pooled arena instead of reallocating
+// it per unit, so a million-unit campaign's summarization runs
+// allocation-free in steady state.
+package campaign
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Scratch is the per-unit scratch arena handed to Unit.RunScratch.
+// Arenas are pooled per worker: a unit gets exclusive use of one for
+// the duration of its run, reset, and the arena's buffers are recycled
+// into later units on the same worker.
+//
+// Ownership rules (the same contract as stats.Scratch, which this
+// embeds): everything borrowed from the arena is valid only until the
+// unit returns. A unit's output is retained until reduce and beyond —
+// it must never alias scratch memory. Copy anything that escapes.
+//
+// Determinism: arenas carry no values across units (every borrow is
+// reset or overwritten), so which pooled arena a unit happens to
+// receive can never influence its output. That keeps the campaign
+// invariant intact: results are byte-identical for every worker count.
+type Scratch struct {
+	// Stats is the statistical-buffer arena: quantile sort copies,
+	// borrowed ECDFs, online accumulators.
+	Stats stats.Scratch
+}
+
+// Reset reclaims everything borrowed from the arena. runUnit calls it
+// before handing the arena to a unit; units never need to.
+func (s *Scratch) Reset() {
+	s.Stats.Reset()
+}
+
+// scratchPool recycles arenas across units. sync.Pool keeps reuse
+// effectively per-worker (per-P), which is exactly the granularity the
+// campaign wants: no lock contention on the hot path, and an arena's
+// high-water buffers stay warm for the next unit on the same worker.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

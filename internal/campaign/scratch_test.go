@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+)
+
+// RunScratch units receive an arena and take precedence over Run.
+func TestRunScratchPrecedence(t *testing.T) {
+	p := &Plan{
+		Seed: 1,
+		Units: []Unit{{
+			Key: "u",
+			Run: func(seed int64) (any, error) {
+				return nil, fmt.Errorf("plain Run must not be called when RunScratch is set")
+			},
+			RunScratch: func(seed int64, s *Scratch) (any, error) {
+				if s == nil {
+					return nil, fmt.Errorf("nil scratch")
+				}
+				// The arena must be reset: a fresh borrow is slot 0.
+				buf := s.Stats.Floats(8)
+				for i := range buf {
+					buf[i] = float64(seed)
+				}
+				return seed, nil
+			},
+		}},
+	}
+	out, err := Engine{Workers: 1}.Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.([]any)[0].(int64) != Derive(1, 0, "u") {
+		t.Fatalf("unexpected seed output %v", out)
+	}
+}
+
+// Scratch-aware campaigns produce identical results for every worker
+// count: pooled arenas carry no state between units.
+func TestScratchUnitsWorkerCountInvariant(t *testing.T) {
+	makePlan := func() *Plan {
+		p := &Plan{Seed: 99}
+		for i := 0; i < 32; i++ {
+			i := i
+			p.Units = append(p.Units, Unit{
+				Key: fmt.Sprintf("u%d", i),
+				RunScratch: func(seed int64, s *Scratch) (any, error) {
+					// Summarize a seed-derived series through the arena;
+					// the scalar result is copied out, never aliased.
+					xs := s.Stats.Floats(50)
+					for j := range xs {
+						xs[j] = float64((seed + int64(j)*2654435761) % 1000)
+					}
+					return s.Stats.Quantile(xs, 0.9), nil
+				},
+			})
+		}
+		return p
+	}
+	ref, err := Engine{Workers: 1}.Run(makePlan())
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Engine{Workers: workers}.Run(makePlan())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref.([]any) {
+			if got.([]any)[i] != ref.([]any)[i] {
+				t.Fatalf("workers=%d unit %d: %v != %v", workers, i, got.([]any)[i], ref.([]any)[i])
+			}
+		}
+	}
+}
+
+// A panicking scratch unit fails its campaign like a panicking Run
+// unit — and its arena returns to the pool for reuse.
+func TestRunScratchPanicRecovered(t *testing.T) {
+	p := &Plan{
+		Seed: 5,
+		Units: []Unit{{
+			Key: "boom",
+			RunScratch: func(seed int64, s *Scratch) (any, error) {
+				s.Stats.Floats(4)
+				panic("kaboom")
+			},
+		}},
+	}
+	_, err := Engine{Workers: 1}.Run(p)
+	if err == nil {
+		t.Fatal("expected a unit error from the panic")
+	}
+	var ue *UnitError
+	if !asUnitError(err, &ue) || ue.Key != "boom" {
+		t.Fatalf("expected UnitError for 'boom', got %v", err)
+	}
+}
+
+func asUnitError(err error, target **UnitError) bool {
+	for err != nil {
+		if ue, ok := err.(*UnitError); ok {
+			*target = ue
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

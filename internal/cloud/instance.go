@@ -126,7 +126,7 @@ type Instance struct {
 	RunningAt   sim.Time // valid once state reaches Running
 	EndedAt     sim.Time // valid once state is terminal
 
-	revocationTimer *sim.Event
+	revocationTimer sim.Handle
 	onRunning       func(*Instance)
 	onRevoked       func(*Instance)
 }

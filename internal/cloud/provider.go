@@ -267,9 +267,7 @@ func (p *Provider) Terminate(in *Instance) {
 	if in.state.Done() {
 		return
 	}
-	if in.revocationTimer != nil {
-		in.revocationTimer.Cancel()
-	}
+	in.revocationTimer.Cancel()
 	in.state = Terminated
 	in.EndedAt = p.k.Now()
 	if key, freed := p.releaseSlot(in); freed {

@@ -33,13 +33,13 @@ func planTableIII(seed int64) *campaign.Plan {
 	p := newPlan(seed)
 	declare := func(g model.GPU, label string, workers []train.WorkerSpec) {
 		n := int64(len(workers))
-		p.unit(fmt.Sprintf("table3/%v/%s", g, label), func(s int64) (any, error) {
-			r, err := runSession(train.Config{
+		p.sunit(fmt.Sprintf("table3/%v/%s", g, label), func(s int64, scr *campaign.Scratch) (any, error) {
+			r, err := runSessionScratch(train.Config{
 				Model:       resnet32,
 				Workers:     workers,
 				TargetSteps: 800 * n,
 				Seed:        s,
-			})
+			}, scr)
 			if err != nil {
 				return nil, err
 			}
@@ -100,8 +100,8 @@ func planFigure4(seed int64) *campaign.Plan {
 			if m.Name == "ShakeShakeBig" {
 				steps = int64(300 * n) // slow model; fewer steps suffice
 			}
-			p.unit(fmt.Sprintf("fig4/%s/%d", m.Name, n), func(s int64) (any, error) {
-				return measureClusterSpeed(m, train.Homogeneous(model.P100, n), 1, steps, s)
+			p.sunit(fmt.Sprintf("fig4/%s/%d", m.Name, n), func(s int64, scr *campaign.Scratch) (any, error) {
+				return measureClusterSpeed(m, train.Homogeneous(model.P100, n), 1, steps, s, scr)
 			})
 		}
 	}
@@ -153,8 +153,8 @@ func planFigure12(seed int64) *campaign.Plan {
 	for _, m := range models {
 		for _, ps := range []int{1, 2} {
 			for n := 1; n <= 8; n++ {
-				p.unit(fmt.Sprintf("fig12/%s/ps%d/%d", m.Name, ps, n), func(s int64) (any, error) {
-					return measureClusterSpeed(m, train.Homogeneous(model.P100, n), ps, int64(700*n), s)
+				p.sunit(fmt.Sprintf("fig12/%s/ps%d/%d", m.Name, ps, n), func(s int64, scr *campaign.Scratch) (any, error) {
+					return measureClusterSpeed(m, train.Homogeneous(model.P100, n), ps, int64(700*n), s, scr)
 				})
 			}
 		}

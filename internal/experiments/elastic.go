@@ -128,8 +128,8 @@ func planElastic(seed int64) *campaign.Plan {
 					Cluster:  elasticCluster(),
 					Elastic:  policy,
 				}
-				p.tunit(fmt.Sprintf("elastic/%s/%s/rep%d", regime.label, policy, rep), func(_ int64, rec *obs.Recorder) (any, error) {
-					out, err := runScenario(sc, steps, elasticCheckpointInterval, SessionOptions{Trace: rec}, cellSeed)
+				p.stunit(fmt.Sprintf("elastic/%s/%s/rep%d", regime.label, policy, rep), func(_ int64, rec *obs.Recorder, scr *campaign.Scratch) (any, error) {
+					out, err := runScenario(sc, steps, elasticCheckpointInterval, SessionOptions{Trace: rec, Scratch: scr}, cellSeed)
 					if err != nil {
 						return nil, err
 					}

@@ -164,6 +164,14 @@ func (p *plan) unit(key string, run func(seed int64) (any, error)) int {
 	return len(p.units) - 1
 }
 
+// sunit declares one scratch-aware replication: run receives a pooled
+// per-worker arena for its summarization temporaries. Outputs must not
+// alias scratch memory (see campaign.Scratch).
+func (p *plan) sunit(key string, run func(seed int64, s *campaign.Scratch) (any, error)) int {
+	p.units = append(p.units, campaign.Unit{Key: key, RunScratch: run})
+	return len(p.units) - 1
+}
+
 // recorder returns the trace recorder for the unit about to be
 // declared, or nil when the plan is untraced. The key embeds the unit
 // index, so collector keys are unique and sort in declaration order.
@@ -181,14 +189,20 @@ func (p *plan) tunit(key string, run func(seed int64, rec *obs.Recorder) (any, e
 	return p.unit(key, func(seed int64) (any, error) { return run(seed, rec) })
 }
 
+// stunit declares one traceable, scratch-aware replication.
+func (p *plan) stunit(key string, run func(seed int64, rec *obs.Recorder, s *campaign.Scratch) (any, error)) int {
+	rec := p.recorder(key)
+	return p.sunit(key, func(seed int64, s *campaign.Scratch) (any, error) { return run(seed, rec, s) })
+}
+
 // session declares one training session on a fresh kernel; the engine
 // supplies the session seed. The unit output is the train.Result.
 func (p *plan) session(key string, cfg train.Config) int {
-	return p.tunit(key, func(seed int64, rec *obs.Recorder) (any, error) {
+	return p.stunit(key, func(seed int64, rec *obs.Recorder, s *campaign.Scratch) (any, error) {
 		cfg := cfg
 		cfg.Seed = seed
 		cfg.Trace = rec
-		return runSession(cfg)
+		return runSessionScratch(cfg, s)
 	})
 }
 

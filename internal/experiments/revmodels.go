@@ -86,8 +86,8 @@ func planRevModels(seed int64) *campaign.Plan {
 			sc.RevModel = e.name
 			steps := spec.StepsPerWorker * int64(sc.Workers)
 			for rep := 0; rep < revModelsReplications; rep++ {
-				p.unit(fmt.Sprintf("revmodels/%s/rep%d", sc.Label(), rep), func(unitSeed int64) (any, error) {
-					out, err := runScenarioWith(e.lm, sc, steps, spec.CheckpointInterval, SessionOptions{}, unitSeed)
+				p.sunit(fmt.Sprintf("revmodels/%s/rep%d", sc.Label(), rep), func(unitSeed int64, scr *campaign.Scratch) (any, error) {
+					out, err := runScenarioWith(e.lm, sc, steps, spec.CheckpointInterval, SessionOptions{Scratch: scr}, unitSeed)
 					if err != nil {
 						return nil, err
 					}

@@ -218,6 +218,11 @@ type SessionOptions struct {
 	// Trace, when non-nil, receives the session's sim-plane timeline
 	// (manager.Config.Trace); tracing never perturbs the measurement.
 	Trace *obs.Recorder
+	// Scratch, when non-nil, lends the measurement a per-worker arena
+	// for its summarization temporaries (campaign units pass theirs
+	// through here). Scratch never changes what is measured, only
+	// where temporaries live.
+	Scratch *campaign.Scratch
 }
 
 // runScenario measures one scenario with a full managed session on a
@@ -292,7 +297,7 @@ func runScenarioWith(lm cloud.LifetimeModel, sc Scenario, steps, ic int64, opts 
 			sc.Label(), steps, sess.Cluster().GlobalStep())
 	}
 	sess.TerminateAll()
-	res := sess.Cluster().Result()
+	res := sess.Cluster().ResultScratch(statsScratch(opts.Scratch))
 	return ScenarioOutcome{
 		Scenario:          sc,
 		TrainingSeconds:   sess.TrainingSeconds(),
@@ -321,8 +326,8 @@ func (s SweepSpec) Plan(seed int64) *campaign.Plan {
 	scenarios := s.Scenarios()
 	for _, sc := range scenarios {
 		steps := s.StepsPerWorker * int64(sc.Workers)
-		p.tunit("sweep/"+sc.Label(), func(unitSeed int64, rec *obs.Recorder) (any, error) {
-			return runScenario(sc, steps, s.CheckpointInterval, SessionOptions{Trace: rec}, unitSeed)
+		p.stunit("sweep/"+sc.Label(), func(unitSeed int64, rec *obs.Recorder, scr *campaign.Scratch) (any, error) {
+			return runScenario(sc, steps, s.CheckpointInterval, SessionOptions{Trace: rec, Scratch: scr}, unitSeed)
 		})
 	}
 	return p.build(func(outs []any) (Result, error) {

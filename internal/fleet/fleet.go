@@ -286,7 +286,7 @@ type fleetSim struct {
 	// wake is the pending time-driven admission re-check, for
 	// schedulers implementing Waker; at most one is scheduled at a
 	// time (the earliest requested).
-	wake   *sim.Event
+	wake   sim.Handle
 	wakeAt sim.Time
 
 	admitting bool
@@ -490,15 +490,13 @@ func (f *fleetSim) scheduleWake() {
 	if at <= f.k.Now() {
 		return // contract violation; refuse to busy-loop the kernel
 	}
-	if f.wake != nil && !f.wake.Canceled() && f.wakeAt <= at {
+	if f.wake.Pending() && f.wakeAt <= at {
 		return // an earlier (or equal) re-check is already armed
 	}
-	if f.wake != nil {
-		f.wake.Cancel()
-	}
+	f.wake.Cancel()
 	f.wakeAt = at
 	f.wake = f.k.At(at, func() {
-		f.wake = nil
+		f.wake = sim.Handle{}
 		f.admit()
 	})
 }

@@ -107,14 +107,35 @@ func (t *Tracker) RecordGlobalStep(now float64) {
 // took duration seconds. Steps beyond the worker's warm-up feed its
 // steady-state step-time distribution.
 func (t *Tracker) RecordWorkerStep(worker string, duration float64) {
+	t.StepRecorder(worker).Record(duration)
+}
+
+// StepRecorder returns a direct handle onto the named worker's
+// step-time series, registering the worker if needed. The training
+// kernel resolves the handle once per worker and records through it,
+// keeping the per-step hot path free of map lookups; RecordWorkerStep
+// remains the one-shot convenience form.
+func (t *Tracker) StepRecorder(worker string) StepRecorder {
 	ws := t.perWorker[worker]
 	if ws == nil {
 		ws = &workerStats{}
 		t.perWorker[worker] = ws
 	}
-	ws.steps++
-	if ws.steps > DefaultWindowSteps {
-		ws.steady.Add(duration)
+	return StepRecorder{ws: ws}
+}
+
+// StepRecorder is a reusable handle onto one worker's step-time series.
+// The zero value is unusable; obtain one from Tracker.StepRecorder.
+type StepRecorder struct {
+	ws *workerStats
+}
+
+// Record accounts one finished step of the given duration. Steps beyond
+// the worker's warm-up feed its steady-state distribution.
+func (r StepRecorder) Record(duration float64) {
+	r.ws.steps++
+	if r.ws.steps > DefaultWindowSteps {
+		r.ws.steady.Add(duration)
 	}
 }
 

@@ -43,6 +43,25 @@ func (s *Server) Submit(service float64, done func()) Time {
 	return finish
 }
 
+// SubmitID is Submit with a registered completion callback: the
+// per-update hot path, taking the kernel's pointer-free fire-and-
+// forget lane. Completions are never cancelled, so no Handle exists.
+func (s *Server) SubmitID(service float64, done FnID) Time {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start := s.k.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start + Time(service)
+	s.busyUntil = finish
+	s.busyTime += service
+	s.served++
+	s.k.Post(finish, done)
+	return finish
+}
+
 // QueueDelay returns how long a job submitted now would wait before
 // starting service.
 func (s *Server) QueueDelay() float64 {

@@ -6,10 +6,18 @@
 // seed always producing the same measurement campaign — is a core
 // requirement for reproducing the paper's tables, and a single-threaded
 // event loop is the simplest way to guarantee it.
+//
+// The hot path is allocation-free in steady state: event state lives in
+// a kernel-owned slab recycled through a free list, scheduling returns
+// a generation-stamped Handle value (no *Event on the heap), and the
+// queue is an inlined monomorphic 4-ary min-heap of small value structs
+// rather than container/heap's boxed interface. Cancellation is lazy —
+// a cancelled event stays queued until popped — with a compaction pass
+// once cancelled entries outnumber live ones, so Cancel is O(1) and the
+// (time, seq) fire order never depends on when cancellations happened.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -34,36 +42,123 @@ func (t Time) HourOfDay() int {
 	return h
 }
 
-// Event is a scheduled callback. Events are created by Kernel.At and
-// Kernel.After and may be cancelled until they fire.
-type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index; -1 once removed
-	canceled bool
+// Handle identifies a scheduled event. It is a small value — copying it
+// is free and never allocates — stamped with the generation of the
+// kernel slot it points at, so a Handle kept after its event fired (and
+// its slot was recycled) becomes inert instead of aliasing a stranger's
+// event. The zero Handle is valid and refers to no event.
+type Handle struct {
+	k    *Kernel
+	at   Time
+	slot int32
+	gen  uint64
 }
 
 // Cancel prevents the event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	e.canceled = true
-	e.fn = nil // release captured state promptly
+// already fired or been cancelled — or the zero Handle — is a no-op.
+func (h Handle) Cancel() {
+	k := h.k
+	if k == nil {
+		return
+	}
+	s := &k.slots[h.slot]
+	if s.gen != h.gen || s.canceled {
+		return
+	}
+	s.canceled = true
+	s.fn = nil // release captured state promptly
+	k.live--
+	k.stale++
+	// Lazy deletion keeps Cancel O(1); compact once cancelled entries
+	// outnumber live ones so a cancel-heavy workload cannot keep the
+	// queue arbitrarily larger than its live set.
+	if k.stale*2 > len(k.heap) && len(k.heap) >= compactMinHeap {
+		k.compact()
+	}
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Pending reports whether the event is still scheduled: not yet fired
+// and not cancelled.
+func (h Handle) Pending() bool {
+	if h.k == nil {
+		return false
+	}
+	s := &h.k.slots[h.slot]
+	return s.gen == h.gen && !s.canceled
+}
 
-// Time returns the virtual time the event is scheduled for.
-func (e *Event) Time() Time { return e.at }
+// Time returns the virtual time the event was scheduled for.
+func (h Handle) Time() Time { return h.at }
+
+// compactMinHeap bounds compaction to queues where the rebuild is worth
+// more than the stale entries' pop-and-skip cost.
+const compactMinHeap = 64
+
+// heapEntry is one queue position: 4-ary min-heap ordered by (time,
+// insertion sequence). The sequence tie-break makes simultaneous events
+// fire in scheduling order, which keeps runs reproducible, and makes
+// the ordering total — so any valid heap arrangement pops in exactly
+// one order, and compaction cannot perturb determinism.
+//
+// An entry is either cancellable (slot ≥ 0: the callback lives in the
+// kernel's slot slab, reachable through Handles) or fire-and-forget
+// (slot == anonSlot: id names a callback interned with Register). The
+// second form is the hot path — the training step loop never cancels
+// its timers — and it skips the slot slab's bookkeeping entirely.
+// Carrying an integer id instead of the func value keeps heapEntry
+// pointer-free, so sift and pop moves incur no GC write barriers and
+// the queue's backing array is never scanned.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	id   FnID // callback table index, set iff slot == anonSlot
+	slot int32
+}
+
+// anonSlot marks a fire-and-forget entry with no slot behind it.
+const anonSlot int32 = -1
+
+// FnID names a callback interned with Kernel.Register. The zero FnID
+// is invalid.
+type FnID int32
+
+// eventSlot is pooled event state. Slots are recycled through a free
+// list; gen increments on every release so stale Handles miss.
+type eventSlot struct {
+	fn       func()
+	gen      uint64
+	next     int32 // free-list link, index+1 (0 = end)
+	canceled bool
+}
 
 // Kernel is the event loop. The zero value is a kernel at time 0 with
 // an empty queue, ready to use.
 type Kernel struct {
 	now   Time
-	queue eventQueue
 	seq   uint64
 	fired uint64
+
+	heap  []heapEntry
+	slots []eventSlot
+	free  int32 // free-list head, index+1 (0 = empty)
+	live  int   // scheduled, uncancelled events
+	stale int   // cancelled entries still in heap (lazy deletion)
+
+	// fns is the callback table behind Register/Post: long-lived
+	// handlers interned once (per worker, per component) and named by
+	// FnID, so the queue itself stays pointer-free.
+	fns []func()
+}
+
+// Register interns a long-lived callback and returns its id for Post.
+// Registered callbacks are retained for the kernel's lifetime; intern
+// per-component handlers once, not per event.
+func (k *Kernel) Register(fn func()) FnID {
+	if fn == nil {
+		panic("sim: registering nil callback")
+	}
+	k.fns = append(k.fns, fn)
+	return FnID(len(k.fns))
 }
 
 // Now returns the current virtual time.
@@ -73,52 +168,94 @@ func (k *Kernel) Now() Time { return k.now }
 // to assert progress and detect runaway schedules.
 func (k *Kernel) FiredEvents() uint64 { return k.fired }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled, uncancelled events. It is
+// O(1): the kernel maintains the count on schedule, cancel, and fire
+// instead of scanning the queue.
+func (k *Kernel) Pending() int { return k.live }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it always indicates a logic error in a simulator
 // component, and firing such events "now" silently corrupts causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	var idx int32
+	if k.free != 0 {
+		idx = k.free - 1
+		k.free = k.slots[idx].next
+	} else {
+		k.slots = append(k.slots, eventSlot{})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.fn = fn
+	s.canceled = false
+	k.heapPush(heapEntry{at: t, seq: k.seq, slot: idx})
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.live++
+	return Handle{k: k, at: t, slot: idx, gen: s.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (k *Kernel) After(d float64, fn func()) *Event {
+func (k *Kernel) After(d float64, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.At(k.now+Time(d), fn)
 }
 
+// Post schedules the registered callback id at absolute time t as a
+// fire-and-forget event: there is no Handle and no way to cancel it.
+// Ordering is identical to At — both draw from the same insertion-
+// sequence counter — so a call site can switch forms without
+// perturbing any schedule. This is the step loop's scheduling
+// primitive: it touches only the heap, never the slot slab.
+func (k *Kernel) Post(t Time, id FnID) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if id <= 0 || int(id) > len(k.fns) {
+		panic(fmt.Sprintf("sim: posting unregistered callback id %d", id))
+	}
+	k.heapPush(heapEntry{at: t, seq: k.seq, id: id, slot: anonSlot})
+	k.seq++
+	k.live++
+}
+
+// PostAfter schedules the registered callback id to run d seconds from
+// now, fire-and-forget. Negative delays panic.
+func (k *Kernel) PostAfter(d float64, id FnID) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.Post(k.now+Time(d), id)
+}
+
 // Step executes the next event, advancing the clock to its timestamp.
 // It returns false when the queue is empty.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
-			continue
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		k.popTop()
+		var fn func()
+		if e.slot == anonSlot {
+			fn = k.fns[e.id-1]
+		} else {
+			s := &k.slots[e.slot]
+			if s.canceled {
+				k.stale--
+				k.release(e.slot)
+				continue
+			}
+			fn = s.fn
+			k.release(e.slot)
 		}
 		k.now = e.at
-		fn := e.fn
-		e.fn = nil
+		k.live--
 		k.fired++
 		fn()
 		return true
@@ -128,70 +265,140 @@ func (k *Kernel) Step() bool {
 
 // Run executes events until the queue drains.
 func (k *Kernel) Run() {
-	for k.Step() {
-	}
+	k.RunUntil(Time(math.Inf(1)))
 }
 
 // RunUntil executes events with timestamps ≤ t, then advances the clock
-// to exactly t. Events scheduled after t remain queued.
+// to exactly t. Events scheduled after t remain queued. The loop is the
+// simulator's innermost hot path, so the pop-and-dispatch sequence is
+// fused here rather than composed from peek and Step.
 func (k *Kernel) RunUntil(t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, k.now))
 	}
-	for {
-		e := k.peek()
-		if e == nil || e.at > t {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if e.at > t {
 			break
 		}
-		k.Step()
-	}
-	k.now = t
-}
-
-// peek returns the next uncancelled event without removing it, or nil.
-func (k *Kernel) peek() *Event {
-	for k.queue.Len() > 0 {
-		e := k.queue[0]
-		if !e.canceled {
-			return e
+		k.popTop()
+		var fn func()
+		if e.slot == anonSlot {
+			fn = k.fns[e.id-1]
+		} else {
+			s := &k.slots[e.slot]
+			if s.canceled {
+				k.stale--
+				k.release(e.slot)
+				continue
+			}
+			fn = s.fn
+			k.release(e.slot)
 		}
-		heap.Pop(&k.queue)
+		k.now = e.at
+		k.live--
+		k.fired++
+		fn()
 	}
-	return nil
-}
-
-// eventQueue is a min-heap ordered by (time, insertion sequence). The
-// sequence tie-break makes simultaneous events fire in scheduling
-// order, which keeps runs reproducible.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if !math.IsInf(float64(t), 1) {
+		k.now = t
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// release returns a slot to the free list, invalidating outstanding
+// Handles by bumping the generation.
+func (k *Kernel) release(idx int32) {
+	s := &k.slots[idx]
+	s.fn = nil
+	s.canceled = false
+	s.gen++
+	s.next = k.free
+	k.free = idx + 1
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// compact rebuilds the heap without cancelled entries, releasing their
+// slots. Safe at any point: the (at, seq) ordering is total, so the
+// rebuilt heap pops in exactly the order the old one would have.
+func (k *Kernel) compact() {
+	h := k.heap[:0]
+	for _, e := range k.heap {
+		if e.slot != anonSlot && k.slots[e.slot].canceled {
+			k.release(e.slot)
+		} else {
+			h = append(h, e)
+		}
+	}
+	k.heap = h
+	for i := (len(h) - 2) >> 2; i >= 0; i-- {
+		k.siftDown(i, h[i])
+	}
+	k.stale = 0
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// heapLess orders entries by (time, insertion sequence); seq is unique,
+// so the order is total.
+func heapLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e heapEntry) {
+	k.heap = append(k.heap, e)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !heapLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// popTop removes the heap's minimum entry; the caller has already read
+// it from heap[0]. Entries are pointer-free, so the vacated tail needs
+// no clearing.
+func (k *Kernel) popTop() {
+	h := k.heap
+	n := len(h) - 1
+	last := h[n]
+	k.heap = h[:n]
+	if n > 0 {
+		k.siftDown(0, last)
+	}
+}
+
+// siftDown places e at position i, sinking it below any smaller child.
+// 4-ary layout: children of i are 4i+1 … 4i+4. The wider node trades a
+// few more comparisons per level for half the levels (and half the
+// cache misses) of a binary heap.
+func (k *Kernel) siftDown(i int, e heapEntry) {
+	h := k.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heapLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !heapLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
 }

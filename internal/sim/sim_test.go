@@ -52,9 +52,12 @@ func TestCancel(t *testing.T) {
 	var k Kernel
 	fired := false
 	e := k.At(1, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("Pending() should report true before Cancel")
+	}
 	e.Cancel()
-	if !e.Canceled() {
-		t.Fatal("Canceled() should report true")
+	if e.Pending() {
+		t.Fatal("Pending() should report false after Cancel")
 	}
 	k.Run()
 	if fired {
@@ -242,5 +245,71 @@ func TestQuickServerOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPendingCounter is the regression test for Pending()'s O(1)
+// live-event counter: every transition that must move it — schedule
+// (both the Handle and the fire-and-forget lane), cancel, double
+// cancel, fire, and lazy-deletion compaction — checked against a
+// hand-tracked count.
+func TestPendingCounter(t *testing.T) {
+	var k Kernel
+	noop := func() {}
+	id := k.Register(noop)
+
+	if k.Pending() != 0 {
+		t.Fatalf("fresh kernel pending = %d, want 0", k.Pending())
+	}
+	handles := make([]Handle, 0, 100)
+	for i := 0; i < 100; i++ {
+		handles = append(handles, k.At(Time(i), noop))
+	}
+	for i := 0; i < 50; i++ {
+		k.Post(Time(i)+0.5, id)
+	}
+	if k.Pending() != 150 {
+		t.Fatalf("after 150 schedules pending = %d, want 150", k.Pending())
+	}
+
+	// Cancel 90 of the handles: enough stale entries to cross the
+	// compaction threshold (stale*2 > len(heap), len >= 64), so the
+	// counter must survive a rebuild.
+	for i := 0; i < 90; i++ {
+		handles[i].Cancel()
+	}
+	if k.Pending() != 60 {
+		t.Fatalf("after 90 cancels pending = %d, want 60", k.Pending())
+	}
+
+	// Double cancel and cancel-of-zero-Handle are no-ops.
+	handles[0].Cancel()
+	(Handle{}).Cancel()
+	if k.Pending() != 60 {
+		t.Fatalf("after no-op cancels pending = %d, want 60", k.Pending())
+	}
+
+	// Fire a few and recount.
+	for i := 0; i < 10; i++ {
+		if !k.Step() {
+			t.Fatal("queue drained early")
+		}
+	}
+	if k.Pending() != 50 {
+		t.Fatalf("after 10 fires pending = %d, want 50", k.Pending())
+	}
+
+	// Cancelling an already-fired handle is a no-op even though its
+	// slot was recycled (generation check).
+	for _, h := range handles {
+		h.Cancel()
+	}
+	if k.Pending() != 40 {
+		t.Fatalf("after cancelling remaining live handles pending = %d, want 40", k.Pending())
+	}
+
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("after drain pending = %d, want 0", k.Pending())
 	}
 }

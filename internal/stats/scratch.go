@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scratch is a reusable arena for the temporary buffers statistical
+// summaries need: quantile sort copies, ECDF sample buffers, and
+// online accumulators. A measurement campaign runs thousands of
+// independent replications, and each one that summarizes a series
+// through Quantile or NewECDF pays a fresh allocation for memory whose
+// lifetime is a single reduce step; a Scratch recycles those buffers
+// across replications instead.
+//
+// Ownership rules:
+//
+//   - Everything handed out by a Scratch (buffers from Floats and
+//     Sorted, the ECDF from its ECDF method, accumulators from Acc) is
+//     borrowed: it remains valid only until the next Reset. Results
+//     that outlive the scratch must be copied out.
+//   - A Scratch is single-owner: one goroutine at a time. Campaign
+//     workers each hold their own (see campaign.Scratch); a Scratch is
+//     never shared across concurrently running units.
+//   - Buffer contents are unspecified at hand-out. Floats returns
+//     length-n slices that must be fully written (or truncated to [:0]
+//     and appended to) before reading.
+//
+// Determinism: a Scratch only changes where temporaries live, never
+// what is computed. Scratch.Quantile evaluates the same floating-point
+// expression as the allocating Quantile, so results are bit-identical
+// regardless of which form a caller uses — or which recycled buffer
+// the arena happens to hand out.
+//
+// The zero value is an empty arena ready to use.
+type Scratch struct {
+	// bufs is the borrow stack: slot i backs the i-th Floats call since
+	// the last Reset. Slots grow monotonically to their high-water
+	// capacity, so steady-state borrowing allocates nothing.
+	bufs [][]float64
+	next int
+
+	// accs recycles online accumulators the same way.
+	accs    []Accumulator
+	nextAcc int
+
+	// ecdfs recycles the ECDF headers ECDF hands out; the sample
+	// buffers behind them come from bufs.
+	ecdfs    []ECDF
+	nextECDF int
+}
+
+// Reset reclaims every buffer, accumulator, and ECDF handed out since
+// the previous Reset. Borrowed values become invalid.
+func (s *Scratch) Reset() {
+	s.next = 0
+	s.nextAcc = 0
+	s.nextECDF = 0
+}
+
+// Floats borrows a length-n float64 slice with unspecified contents.
+func (s *Scratch) Floats(n int) []float64 {
+	if s.next == len(s.bufs) {
+		s.bufs = append(s.bufs, nil)
+	}
+	b := s.bufs[s.next]
+	if cap(b) < n {
+		b = make([]float64, n)
+	} else {
+		b = b[:n]
+	}
+	s.bufs[s.next] = b
+	s.next++
+	return b
+}
+
+// Sorted borrows a sorted copy of xs.
+func (s *Scratch) Sorted(xs []float64) []float64 {
+	b := s.Floats(len(xs))
+	copy(b, xs)
+	sort.Float64s(b)
+	return b
+}
+
+// Quantile is Quantile computed through the arena: identical
+// semantics, identical bits, no per-call sort allocation.
+func (s *Scratch) Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: Quantile probability %v outside [0,1]", p))
+	}
+	return quantileSorted(s.Sorted(xs), p)
+}
+
+// Median is the 0.5-quantile computed through the arena.
+func (s *Scratch) Median(xs []float64) float64 {
+	return s.Quantile(xs, 0.5)
+}
+
+// ECDF is NewECDF computed through the arena: the returned ECDF
+// borrows its sorted sample buffer and is valid only until Reset.
+func (s *Scratch) ECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: ECDF requires a non-empty sample")
+	}
+	if s.nextECDF == len(s.ecdfs) {
+		s.ecdfs = append(s.ecdfs, ECDF{})
+	}
+	e := &s.ecdfs[s.nextECDF]
+	s.nextECDF++
+	e.sorted = s.Sorted(xs)
+	return e, nil
+}
+
+// Acc borrows a zeroed online accumulator.
+func (s *Scratch) Acc() *Accumulator {
+	if s.nextAcc == len(s.accs) {
+		s.accs = append(s.accs, Accumulator{})
+	}
+	a := &s.accs[s.nextAcc]
+	s.nextAcc++
+	*a = Accumulator{}
+	return a
+}

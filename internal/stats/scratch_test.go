@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Scratch results must be bit-identical to the allocating forms: the
+// arena may only change where temporaries live, never what is
+// computed.
+func TestScratchQuantileBitIdentical(t *testing.T) {
+	rng := NewRng(42)
+	var s Scratch
+	for trial := 0; trial < 50; trial++ {
+		s.Reset()
+		xs := make([]float64, 1+rng.Intn(200))
+		for i := range xs {
+			xs[i] = rng.Normal(10, 3)
+		}
+		for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			want := Quantile(xs, p)
+			got := s.Quantile(xs, p)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d: Scratch.Quantile(%v) = %v, want %v", trial, p, got, want)
+			}
+		}
+		if got, want := s.Median(xs), Median(xs); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: Scratch.Median = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestScratchECDFBitIdentical(t *testing.T) {
+	rng := NewRng(7)
+	var s Scratch
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = rng.Exponential(4)
+	}
+	want := MustECDF(xs)
+	got, err := s.ECDF(xs)
+	if err != nil {
+		t.Fatalf("Scratch.ECDF: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 4, 8, 100} {
+		if g, w := got.Eval(x), want.Eval(x); g != w {
+			t.Fatalf("Eval(%v) = %v, want %v", x, g, w)
+		}
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if g, w := got.Quantile(p), want.Quantile(p); g != w {
+			t.Fatalf("Quantile(%v) = %v, want %v", p, g, w)
+		}
+	}
+	if _, err := s.ECDF(nil); err == nil {
+		t.Fatal("Scratch.ECDF(empty) should error")
+	}
+}
+
+// After Reset, the arena hands back the same backing buffers — that
+// recycling is its whole purpose.
+func TestScratchRecyclesBuffers(t *testing.T) {
+	var s Scratch
+	a := s.Floats(64)
+	b := s.Floats(32)
+	s.Reset()
+	a2 := s.Floats(16)
+	b2 := s.Floats(32)
+	if &a[0] != &a2[0] {
+		t.Error("first borrow after Reset did not reuse the first slot's buffer")
+	}
+	if &b[0] != &b2[0] {
+		t.Error("second borrow after Reset did not reuse the second slot's buffer")
+	}
+	if len(a2) != 16 || len(b2) != 32 {
+		t.Errorf("borrow lengths = %d, %d; want 16, 32", len(a2), len(b2))
+	}
+}
+
+// A warmed arena's summaries run allocation-free: the steady-state
+// guarantee campaign replications rely on.
+func TestScratchSteadyStateAllocFree(t *testing.T) {
+	var s Scratch
+	xs := make([]float64, 300)
+	rng := NewRng(3)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	// Warm the arena to its high-water shape.
+	s.Reset()
+	_ = s.Quantile(xs, 0.5)
+	_, _ = s.ECDF(xs)
+	_ = s.Acc()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		_ = s.Quantile(xs, 0.5)
+		_, _ = s.ECDF(xs)
+		a := s.Acc()
+		for _, x := range xs {
+			a.Add(x)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed scratch summaries allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Acc hands back zeroed accumulators even when a prior unit filled
+// them.
+func TestScratchAccZeroed(t *testing.T) {
+	var s Scratch
+	a := s.Acc()
+	a.Add(5)
+	a.Add(9)
+	s.Reset()
+	b := s.Acc()
+	if b.N() != 0 || b.Mean() != 0 {
+		t.Errorf("recycled accumulator not zeroed: n=%d mean=%v", b.N(), b.Mean())
+	}
+	if a != b {
+		t.Error("expected the same accumulator slot to be recycled")
+	}
+}

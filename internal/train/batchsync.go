@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // This file is the synchronous dynamic-batching mode (Config.Batch):
@@ -97,13 +98,17 @@ func (c *Cluster) startRound() {
 	for _, name := range live {
 		w := c.workers[name]
 		w.stepStart = c.k.Now()
-		compute := w.rng.LogNormal(w.computeMean*model.BatchTimeFactor(c.shares[name]), model.StepTimeCoV)
+		mean := w.computeMean * model.BatchTimeFactor(c.shares[name])
+		if w.syncDist.Mean() != mean {
+			w.syncDist = stats.MakeLogNormalDist(mean, model.StepTimeCoV)
+		}
+		compute := w.syncDist.Sample(w.rng)
 		if !c.cfg.DisableWarmup {
 			// Warm-up tracks the collective step in sync mode: the round
 			// is a cluster-wide unit, not a per-worker one.
 			compute *= model.WarmupMultiplier(c.globalStep)
 		}
-		c.k.After(compute, func() { c.pushSync(w) })
+		c.k.PostAfter(compute, w.pushSyncID)
 	}
 }
 
@@ -113,20 +118,14 @@ func (c *Cluster) pushSync(w *Worker) {
 	if w.dead || c.done {
 		return
 	}
-	remaining := len(c.shards)
-	if remaining == 0 {
+	w.shardsRemaining = len(c.shards)
+	if w.shardsRemaining == 0 {
 		c.syncContribution(w)
 		return
 	}
-	meanService := shardServiceSeconds(c.cfg.Model, len(c.shards))
 	for _, shard := range c.shards {
-		service := w.rng.LogNormal(meanService, psServiceCoV)
-		shard.Submit(service, func() {
-			remaining--
-			if remaining == 0 {
-				c.syncContribution(w)
-			}
-		})
+		service := c.serviceDist.Sample(w.rng)
+		shard.SubmitID(service, w.shardDoneID)
 	}
 }
 
@@ -136,7 +135,7 @@ func (c *Cluster) syncContribution(w *Worker) {
 		return // a dead worker's in-flight share was already written off
 	}
 	w.stepsDone++
-	c.tracker.RecordWorkerStep(w.name, float64(c.k.Now()-w.stepStart))
+	w.stepRec.Record(float64(c.k.Now() - w.stepStart))
 	if !c.roundActive || !c.roundPending[w.name] {
 		return
 	}
@@ -190,24 +189,14 @@ func (c *Cluster) dropFromRound(name string) {
 // runCheckpointSync is runCheckpoint for the synchronous mode: the
 // whole cluster stalls at the round barrier while the chief writes,
 // then the next round starts. A chief revoked mid-write loses the
-// save but must not stall the barrier forever.
+// save but must not stall the barrier forever. Like the asynchronous
+// path, the in-flight state rides the worker and the timer reuses its
+// prebound handler.
 func (c *Cluster) runCheckpointSync(w *Worker) {
 	c.ckptActive = true
-	snapshot := c.globalStep
-	dur := w.rng.LogNormal(CheckpointSeconds(c.cfg.Model), ckptTimeCoV)
-	c.k.After(dur, func() {
-		c.ckptActive = false
-		if c.done {
-			return
-		}
-		if !w.dead {
-			c.lastCkptStep = snapshot
-			c.ckptCount++
-			c.ckptSeconds += dur
-			c.addEvent(EventCheckpoint, w.name)
-		}
-		c.startRound()
-	})
+	w.ckptSnapshot = c.globalStep
+	w.ckptDur = c.ckptDist.Sample(w.rng)
+	c.k.PostAfter(w.ckptDur, w.ckptDoneID)
 }
 
 // syncJoin folds a newly joined worker into the schedule: shares

@@ -69,8 +69,13 @@ type Cluster struct {
 
 	shards  []*sim.Server
 	workers map[string]*Worker
-	order   []string
-	chief   string
+	// serviceDist and ckptDist freeze the session-constant log-normal
+	// parameterizations (per-shard service time, checkpoint write
+	// time) so the per-step hot path skips their log/sqrt setup.
+	serviceDist stats.LogNormalDist
+	ckptDist    stats.LogNormalDist
+	order       []string
+	chief       string
 	// chiefHandoff selects CM-DARE's behavior (true: checkpoint duty
 	// moves to a surviving worker when the chief is revoked) versus
 	// unmodified TensorFlow (false: duty waits for a replacement).
@@ -90,6 +95,9 @@ type Cluster struct {
 
 	events    []Event
 	stepHooks map[int64][]func()
+	// nextHook is the smallest registered hook step (0 when none),
+	// letting the per-step hot path skip the map probe entirely.
+	nextHook int64
 
 	// Synchronous-mode state (Config.Batch != nil; see batchsync.go).
 	shares       map[string]int
@@ -127,6 +135,10 @@ func NewCluster(k *sim.Kernel, cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.ParameterServers; i++ {
 		c.shards = append(c.shards, sim.NewServer(k))
 	}
+	if cfg.ParameterServers > 0 {
+		c.serviceDist = stats.MakeLogNormalDist(shardServiceSeconds(cfg.Model, cfg.ParameterServers), psServiceCoV)
+	}
+	c.ckptDist = stats.MakeLogNormalDist(CheckpointSeconds(cfg.Model), ckptTimeCoV)
 	for _, spec := range cfg.Workers {
 		name := c.newWorker(spec)
 		if c.chief == "" {
@@ -161,8 +173,11 @@ func (c *Cluster) newWorker(spec WorkerSpec) string {
 		name:        name,
 		gpu:         spec.GPU,
 		computeMean: compute,
+		computeDist: stats.MakeLogNormalDist(compute, model.StepTimeCoV),
 		rng:         c.rng.Fork(),
+		stepRec:     c.tracker.StepRecorder(name),
 	}
+	w.bindHandlers()
 	c.workers[name] = w
 	c.order = append(c.order, name)
 	return name
@@ -254,6 +269,9 @@ func (c *Cluster) WhenStep(step int64, fn func()) {
 		panic(fmt.Sprintf("train: WhenStep(%d) at or before current step %d", step, c.globalStep))
 	}
 	c.stepHooks[step] = append(c.stepHooks[step], fn)
+	if c.nextHook == 0 || step < c.nextHook {
+		c.nextHook = step
+	}
 }
 
 // KillWorker revokes a worker immediately (the simulation analogue of
@@ -334,24 +352,8 @@ func (c *Cluster) AddWorker(spec WorkerSpec, mode JoinMode) (string, error) {
 	w := c.workers[name]
 	overhead := ReplacementSeconds(c.cfg.Model, mode.Cold)
 	overhead = w.rng.LogNormal(overhead, replacementOverheadCoV)
-	c.k.After(overhead, func() {
-		if c.done {
-			return
-		}
-		c.addEvent(EventJoin, name)
-		if mode.ReuseChiefIP {
-			c.rollback()
-			c.chief = name
-		} else if mode.MakeChief || c.chief == "" {
-			c.chief = name
-			c.addEvent(EventChiefHandoff, name)
-		}
-		if c.syncEnabled() {
-			c.syncJoin()
-			return
-		}
-		w.startStep()
-	})
+	w.joinMode = mode
+	c.k.PostAfter(overhead, w.joinID)
 	return name, nil
 }
 
@@ -383,8 +385,20 @@ func (c *Cluster) addEvent(kind EventKind, worker string) {
 func (c *Cluster) completeGlobalStep() {
 	c.globalStep++
 	c.tracker.RecordGlobalStep(c.k.Now().Seconds())
-	if hooks, ok := c.stepHooks[c.globalStep]; ok {
+	// nextHook tracks the smallest registered hook step, so the per-step
+	// hot path pays one integer compare instead of a map probe. WhenStep
+	// only registers future steps and the counter climbs one step at a
+	// time (rollbacks replay the same integers), so equality cannot be
+	// stepped over.
+	if c.nextHook != 0 && c.globalStep == c.nextHook {
+		hooks := c.stepHooks[c.globalStep]
 		delete(c.stepHooks, c.globalStep)
+		c.nextHook = 0
+		for s := range c.stepHooks {
+			if c.nextHook == 0 || s < c.nextHook {
+				c.nextHook = s
+			}
+		}
 		for _, fn := range hooks {
 			fn()
 		}
@@ -404,21 +418,20 @@ func (c *Cluster) checkpointDue() bool {
 
 // runCheckpoint stalls the chief for the checkpoint duration; training
 // and checkpointing are sequential on the chief (§IV-B), while other
-// workers keep training.
+// workers keep training. The in-flight snapshot/duration live on the
+// worker (a worker checkpoints at most once at a time, and a revoked
+// chief never checkpoints again), so the timer reuses the worker's
+// prebound handler instead of allocating a closure per checkpoint.
 func (c *Cluster) runCheckpoint(w *Worker) {
-	snapshot := c.globalStep
-	dur := w.rng.LogNormal(CheckpointSeconds(c.cfg.Model), ckptTimeCoV)
-	c.k.After(dur, func() {
-		if w.dead {
-			// Chief revoked mid-checkpoint: the save is lost. CM-DARE's
-			// takeover means the next chief will checkpoint at its next
-			// boundary.
-			return
-		}
-		c.lastCkptStep = snapshot
-		c.ckptCount++
-		c.ckptSeconds += dur
-		c.addEvent(EventCheckpoint, w.name)
-		w.startStep()
-	})
+	w.ckptSnapshot = c.globalStep
+	w.ckptDur = c.ckptDist.Sample(w.rng)
+	c.k.PostAfter(w.ckptDur, w.ckptDoneID)
+}
+
+// commitCheckpoint records a successfully written checkpoint.
+func (c *Cluster) commitCheckpoint(w *Worker) {
+	c.lastCkptStep = w.ckptSnapshot
+	c.ckptCount++
+	c.ckptSeconds += w.ckptDur
+	c.addEvent(EventCheckpoint, w.name)
 }

@@ -47,8 +47,24 @@ type Result struct {
 
 // Result snapshots the cluster's current state.
 func (c *Cluster) Result() Result {
+	return c.ResultScratch(nil)
+}
+
+// ResultScratch is Result with its summarization temporaries borrowed
+// from the arena instead of allocated — the form campaign units use so
+// replications recycle their series buffers. The returned Result is
+// fully owned by the caller (nothing in it aliases the arena); a nil
+// arena falls back to allocating. Results are bit-identical either
+// way.
+func (c *Cluster) ResultScratch(s *stats.Scratch) Result {
 	series := c.tracker.SpeedSeries()
-	steady, cov := steadyOf(series, float64(c.startedAt)+c.warmupHorizonSeconds())
+	var buf []float64
+	if s != nil {
+		buf = s.Floats(len(series))[:0]
+	} else {
+		buf = make([]float64, 0, len(series))
+	}
+	steady, cov := steadyOf(series, float64(c.startedAt)+c.warmupHorizonSeconds(), buf)
 	r := Result{
 		Done:              c.done,
 		GlobalSteps:       c.globalStep,
@@ -99,9 +115,11 @@ func (c *Cluster) warmupHorizonSeconds() float64 {
 
 // steadyOf averages the windowed speeds recorded after the warm-up
 // horizon, always discarding at least the first window (the paper's
-// discard-the-first-100-steps rule).
-func steadyOf(series []profile.SpeedSample, warmupEndTime float64) (mean, cov float64) {
-	used := make([]float64, 0, len(series))
+// discard-the-first-100-steps rule). The post-warm-up speeds are
+// gathered into buf, whose backing array the caller provides (possibly
+// scratch-borrowed); it must be empty with capacity for the series.
+func steadyOf(series []profile.SpeedSample, warmupEndTime float64, buf []float64) (mean, cov float64) {
+	used := buf
 	for i, s := range series {
 		if i == 0 || s.Time <= warmupEndTime {
 			continue

@@ -2,6 +2,7 @@ package train
 
 import (
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -10,16 +11,59 @@ import (
 // it through every parameter-server shard, repeat. Asynchrony across
 // workers comes from each worker looping at its own pace; coupling
 // comes only from the shared shard queues.
+//
+// Every timer a worker arms reuses one of the handlers bound once at
+// construction (pushFn, shardDoneFn, joinFn, ckptDoneFn): the step
+// loop schedules millions of callbacks per session, and a fresh
+// closure per callback was the kernel hot path's dominant allocation.
+// The per-flight state those closures used to capture (shards still
+// pending, checkpoint snapshot, join mode) lives in fields instead —
+// safe because a worker has at most one step, one join, and one
+// checkpoint in flight at a time.
 type Worker struct {
 	c           *Cluster
 	name        string
 	gpu         model.GPU
 	computeMean float64
+	// computeDist freezes the worker's steady-state step-time
+	// distribution; syncDist memoizes the share-scaled variant, which
+	// only changes when synchronous-mode shares rebalance.
+	computeDist stats.LogNormalDist
+	syncDist    stats.LogNormalDist
 	rng         *stats.Rng
+	stepRec     profile.StepRecorder
 
 	dead      bool
 	stepsDone int64
 	stepStart sim.Time
+
+	// Prebound timer handlers, interned in the kernel's callback table
+	// once per worker lifetime and scheduled by id thereafter.
+	pushID      sim.FnID // async compute done → pushUpdate
+	pushSyncID  sim.FnID // sync compute done → cluster.pushSync
+	shardDoneID sim.FnID // one shard served this worker's update
+	joinID      sim.FnID // replacement overhead elapsed → join session
+	ckptDoneID  sim.FnID // checkpoint write finished
+
+	// shardsRemaining counts the in-flight step's unserved shards.
+	shardsRemaining int
+
+	// joinMode parameterizes the pending AddWorker join.
+	joinMode JoinMode
+
+	// ckptSnapshot/ckptDur describe the in-flight checkpoint.
+	ckptSnapshot int64
+	ckptDur      float64
+}
+
+// bindHandlers interns the worker's reusable timer handlers.
+func (w *Worker) bindHandlers() {
+	k := w.c.k
+	w.pushID = k.Register(w.pushUpdate)
+	w.pushSyncID = k.Register(func() { w.c.pushSync(w) })
+	w.shardDoneID = k.Register(w.shardDone)
+	w.joinID = k.Register(w.join)
+	w.ckptDoneID = k.Register(w.ckptDone)
 }
 
 // startStep begins the compute phase of the next step.
@@ -28,11 +72,11 @@ func (w *Worker) startStep() {
 		return
 	}
 	w.stepStart = w.c.k.Now()
-	compute := w.rng.LogNormal(w.computeMean, model.StepTimeCoV)
+	compute := w.computeDist.Sample(w.rng)
 	if !w.c.cfg.DisableWarmup {
 		compute *= model.WarmupMultiplier(w.stepsDone)
 	}
-	w.c.k.After(compute, w.pushUpdate)
+	w.c.k.PostAfter(compute, w.pushID)
 }
 
 // pushUpdate submits the gradient to every shard; the step's
@@ -41,22 +85,32 @@ func (w *Worker) pushUpdate() {
 	if w.dead || w.c.done {
 		return
 	}
-	remaining := len(w.c.shards)
-	if remaining == 0 {
+	w.shardsRemaining = len(w.c.shards)
+	if w.shardsRemaining == 0 {
 		// Degenerate zero-PS configuration: local training only.
 		w.finishStep()
 		return
 	}
-	meanService := shardServiceSeconds(w.c.cfg.Model, len(w.c.shards))
 	for _, shard := range w.c.shards {
-		service := w.rng.LogNormal(meanService, psServiceCoV)
-		shard.Submit(service, func() {
-			remaining--
-			if remaining == 0 {
-				w.finishStep()
-			}
-		})
+		service := w.c.serviceDist.Sample(w.rng)
+		shard.SubmitID(service, w.shardDoneID)
 	}
+}
+
+// shardDone records one shard's response; the step's communication
+// phase ends when the last shard answers. In synchronous mode the
+// completed share lands in the round barrier instead of chaining the
+// worker's own next step.
+func (w *Worker) shardDone() {
+	w.shardsRemaining--
+	if w.shardsRemaining != 0 {
+		return
+	}
+	if w.c.syncEnabled() {
+		w.c.syncContribution(w)
+		return
+	}
+	w.finishStep()
 }
 
 // finishStep accounts a completed step and chains the next action:
@@ -67,11 +121,60 @@ func (w *Worker) finishStep() {
 		return // revoked mid-flight: gradient discarded
 	}
 	w.stepsDone++
-	w.c.tracker.RecordWorkerStep(w.name, float64(w.c.k.Now()-w.stepStart))
+	w.stepRec.Record(float64(w.c.k.Now() - w.stepStart))
 	w.c.completeGlobalStep()
 	if w.name == w.c.chief && w.c.checkpointDue() {
 		w.c.runCheckpoint(w)
 		return
 	}
+	w.startStep()
+}
+
+// join enters the running session once the replacement overhead
+// elapsed — the deferred half of Cluster.AddWorker.
+func (w *Worker) join() {
+	c := w.c
+	if c.done {
+		return
+	}
+	c.addEvent(EventJoin, w.name)
+	if w.joinMode.ReuseChiefIP {
+		c.rollback()
+		c.chief = w.name
+	} else if w.joinMode.MakeChief || c.chief == "" {
+		c.chief = w.name
+		c.addEvent(EventChiefHandoff, w.name)
+	}
+	if c.syncEnabled() {
+		c.syncJoin()
+		return
+	}
+	w.startStep()
+}
+
+// ckptDone commits (or writes off) the in-flight checkpoint described
+// by ckptSnapshot/ckptDur.
+func (w *Worker) ckptDone() {
+	c := w.c
+	if c.syncEnabled() {
+		// Synchronous mode: the whole cluster stalled at the round
+		// barrier while the chief wrote; resume it.
+		c.ckptActive = false
+		if c.done {
+			return
+		}
+		if !w.dead {
+			c.commitCheckpoint(w)
+		}
+		c.startRound()
+		return
+	}
+	if w.dead {
+		// Chief revoked mid-checkpoint: the save is lost. CM-DARE's
+		// takeover means the next chief will checkpoint at its next
+		// boundary.
+		return
+	}
+	c.commitCheckpoint(w)
 	w.startStep()
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Benchstat-style delta report: render per-benchmark old-vs-new ns/op
+# and allocs/op with percentage deltas from two `go test -json` bench
+# runs. Purely informational — this script never fails the build; the
+# regression gate is check_bench.sh. CI runs it with the committed
+# pre-optimization baseline as "old" and the fresh run as "new" and
+# uploads the table (BENCH_DELTA.txt), so every perf PR starts from a
+# measured before/after instead of a guess.
+# Usage: bench_delta.sh <old.json> <new.json>
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <old.json> <new.json>" >&2
+    exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "missing old bench file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "missing new bench file: $new" >&2; exit 2; }
+
+tmp=${TMPDIR:-/tmp}/bench_delta.$$
+trap 'rm -f "$tmp.old" "$tmp.new"' EXIT
+
+# Same "<name> <ns/op> <allocs/op|->" extraction as check_bench.sh.
+extract() {
+    awk '
+        !/"Action":"output"/ { next }
+        {
+            pkg = ""
+            if (match($0, /"Package":"[^"]*"/)) {
+                pkg = substr($0, RSTART + 11, RLENGTH - 12)
+            }
+            line = $0
+            sub(/.*"Output":"/, "", line)
+            if (line ~ /^Benchmark/) {
+                name = line
+                sub(/\\t.*/, "", name)
+                gsub(/[[:space:]]+$/, "", name)
+                sub(/-[0-9]+$/, "", name)
+                pending[pkg] = name
+            }
+            if (line ~ /ns\/op/ && pending[pkg] != "") {
+                if (match(line, /[0-9][0-9.]* ns\/op/)) {
+                    ns = substr(line, RSTART, RLENGTH)
+                    sub(/ ns\/op/, "", ns)
+                    allocs = "-"
+                    if (match(line, /[0-9][0-9.]* allocs\/op/)) {
+                        allocs = substr(line, RSTART, RLENGTH)
+                        sub(/ allocs\/op/, "", allocs)
+                    }
+                    print pending[pkg], ns, allocs
+                    pending[pkg] = ""
+                }
+            }
+        }
+    ' "$1"
+}
+
+extract "$old" | sort >"$tmp.old"
+extract "$new" | sort >"$tmp.new"
+
+awk -v oldfile="$tmp.old" -v oldname="$old" -v newname="$new" '
+    FILENAME == oldfile { ns[$1] = $2 + 0; allocs[$1] = $3; order[++n] = $1; next }
+    { newns[$1] = $2 + 0; newallocs[$1] = $3; if (!($1 in ns)) order[++n] = $1 }
+    END {
+        printf "old: %s\nnew: %s\n\n", oldname, newname
+        fmt = "%-45s %14s %14s %9s   %12s %12s %9s\n"
+        printf fmt, "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+        for (i = 1; i <= n; i++) {
+            b = order[i]
+            if (b in printed) continue
+            printed[b] = 1
+            ons = (b in ns) ? sprintf("%d", ns[b]) : "-"
+            nns = (b in newns) ? sprintf("%d", newns[b]) : "-"
+            d = "-"
+            if (b in ns && b in newns && ns[b] > 0)
+                d = sprintf("%+.1f%%", (newns[b] - ns[b]) / ns[b] * 100)
+            oa = (b in allocs) ? allocs[b] : "-"
+            na = (b in newallocs) ? newallocs[b] : "-"
+            da = "-"
+            if (oa != "-" && na != "-" && oa + 0 > 0)
+                da = sprintf("%+.1f%%", (na - oa) / oa * 100)
+            printf fmt, b, ons, nns, d, oa, na, da
+        }
+    }
+' "$tmp.old" "$tmp.new"

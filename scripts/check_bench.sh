@@ -1,14 +1,19 @@
 #!/usr/bin/env sh
 # Bench-regression guard: compare a fresh `go test -json` benchmark run
-# against the committed reference, per benchmark, on ns/op. A
-# -benchtime=1x run is noisy and CI machines differ, so the gate is
-# deliberately coarse: fail only when a benchmark comes in more than
-# TOLERANCE times slower than its reference. Benchmarks present in only
+# against the committed reference, per benchmark, on ns/op AND
+# allocs/op. A -benchtime=1x run is noisy and CI machines differ, so
+# the ns/op gate is deliberately coarse: fail only when a benchmark
+# comes in more than TOLERANCE times slower than its reference.
+# Allocation counts are nearly deterministic for these workloads —
+# machine speed does not change how often a campaign allocates — so
+# their gate is tighter (ALLOC_TOLERANCE, default 1.5x): an allocs/op
+# regression is a code change, not noise. Benchmarks present in only
 # one of the two files are reported but never fail the gate.
 # Usage: check_bench.sh <reference.json> <fresh.json>
 set -eu
 
 tolerance=${BENCH_TOLERANCE:-3.0}
+alloc_tolerance=${BENCH_ALLOC_TOLERANCE:-1.5}
 
 if [ $# -ne 2 ]; then
     echo "usage: $0 <reference.json> <fresh.json>" >&2
@@ -22,12 +27,13 @@ fresh=$2
 tmp=${TMPDIR:-/tmp}/check_bench.$$
 trap 'rm -f "$tmp.ref" "$tmp.fresh"' EXIT
 
-# extract <name> <ns/op> pairs from a `go test -json` stream. The test
-# binary prints the benchmark name before running it, so the name and
-# the result usually arrive as two separate "Output" events (sometimes
-# one); pair the last pending name per package with the next ns/op
-# line. The -<procs> name suffix is stripped so runs from machines
-# with different GOMAXPROCS still line up.
+# extract "<name> <ns/op> <allocs/op|->" triples from a `go test -json`
+# stream. The test binary prints the benchmark name before running it,
+# so the name and the result usually arrive as two separate "Output"
+# events (sometimes one); pair the last pending name per package with
+# the next ns/op line. The -<procs> name suffix is stripped so runs
+# from machines with different GOMAXPROCS still line up. allocs/op is
+# "-" for benchmarks that do not report allocations.
 extract() {
     awk '
         !/"Action":"output"/ { next }
@@ -49,7 +55,12 @@ extract() {
                 if (match(line, /[0-9][0-9.]* ns\/op/)) {
                     ns = substr(line, RSTART, RLENGTH)
                     sub(/ ns\/op/, "", ns)
-                    print pending[pkg], ns
+                    allocs = "-"
+                    if (match(line, /[0-9][0-9.]* allocs\/op/)) {
+                        allocs = substr(line, RSTART, RLENGTH)
+                        sub(/ allocs\/op/, "", allocs)
+                    }
+                    print pending[pkg], ns, allocs
                     pending[pkg] = ""
                 }
             }
@@ -60,8 +71,8 @@ extract() {
 extract "$ref" | sort >"$tmp.ref"
 extract "$fresh" | sort >"$tmp.fresh"
 
-awk -v tol="$tolerance" -v reffile="$tmp.ref" '
-    FILENAME == reffile { ref[$1] = $2 + 0; next }
+awk -v tol="$tolerance" -v atol="$alloc_tolerance" -v reffile="$tmp.ref" '
+    FILENAME == reffile { ref[$1] = $2 + 0; refallocs[$1] = $3; next }
     {
         seen[$1] = 1
         if (!($1 in ref)) { printf "note: %s has no reference entry (new benchmark?)\n", $1; next }
@@ -72,12 +83,21 @@ awk -v tol="$tolerance" -v reffile="$tmp.ref" '
             printf "REGRESSION %s: %s ns/op vs reference %s (%.2fx > %.2fx)\n", $1, $2, ref[$1], ratio, tol
             bad = 1
         }
+        if ($3 != "-" && refallocs[$1] != "-" && refallocs[$1] + 0 > 0) {
+            acompared++
+            aratio = ($3 + 0) / (refallocs[$1] + 0)
+            if (aratio > atol) {
+                printf "ALLOC REGRESSION %s: %s allocs/op vs reference %s (%.2fx > %.2fx)\n", $1, $3, refallocs[$1], aratio, atol
+                bad = 1
+            }
+        }
     }
     END {
         for (b in ref) if (!(b in seen))
             printf "note: %s missing from fresh run (renamed or dropped?)\n", b
         if (compared == 0) { print "no benchmarks compared: malformed input?"; exit 2 }
         if (bad) exit 1
-        printf "%d benchmarks within %.2fx of the committed reference\n", compared, tol
+        printf "%d benchmarks within %.2fx ns/op of the committed reference\n", compared, tol
+        printf "%d benchmarks within %.2fx allocs/op of the committed reference\n", acompared, atol
     }
 ' "$tmp.ref" "$tmp.fresh"
